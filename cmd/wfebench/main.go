@@ -1,0 +1,209 @@
+// Command wfebench regenerates the paper's evaluation: every figure's
+// throughput and unreclaimed-object series (Figures 5–11) plus the
+// ablations in DESIGN.md.
+//
+// Quick sweep of one figure:
+//
+//	wfebench -figure 7
+//
+// Everything, with the paper's full parameters (10s × 5 per point):
+//
+//	wfebench -figure all -paper
+//
+// Ablations:
+//
+//	wfebench -ablation attempts|slowpath|erafreq|stall
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"wfe/internal/bench"
+)
+
+func main() {
+	var (
+		figure   = flag.String("figure", "", "figure id (5a,5c,6,7,8,9,10,11 or 'all')")
+		ablation = flag.String("ablation", "", "ablation (attempts, slowpath, erafreq, stall, wfeibr)")
+		threads  = flag.String("threads", "", "comma-separated thread counts (default: powers of two up to GOMAXPROCS)")
+		duration = flag.Duration("duration", 500*time.Millisecond, "measurement duration per point")
+		repeat   = flag.Int("repeat", 1, "repetitions per point (best reported)")
+		prefill  = flag.Int("prefill", 50000, "initial elements")
+		keyrange = flag.Uint64("keyrange", 100000, "key range")
+		erafreq  = flag.Int("erafreq", 150, "era increment frequency ν")
+		cleanupf = flag.Int("cleanupfreq", 30, "retire-list scan frequency")
+		attempts = flag.Int("attempts", 16, "WFE fast-path attempts")
+		paper    = flag.Bool("paper", false, "paper parameters: 10s duration, 5 repetitions")
+		csv      = flag.Bool("csv", false, "CSV output instead of tables")
+		pin      = flag.Bool("pin", false, "pin workers to OS threads (paper methodology)")
+	)
+	flag.Parse()
+
+	opt := bench.Options{
+		Duration:    *duration,
+		Repeat:      *repeat,
+		Prefill:     *prefill,
+		KeyRange:    *keyrange,
+		EraFreq:     *erafreq,
+		CleanupFreq: *cleanupf,
+		MaxAttempts: *attempts,
+		Pin:         *pin,
+	}
+	if *paper {
+		opt.Duration = 10 * time.Second
+		opt.Repeat = 5
+	}
+	if *threads != "" {
+		for _, part := range strings.Split(*threads, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				fatalf("bad -threads value %q", part)
+			}
+			opt.Threads = append(opt.Threads, n)
+		}
+	}
+
+	switch {
+	case *ablation != "":
+		runAblation(*ablation, opt, *csv)
+	case *figure != "":
+		runFigures(*figure, opt, *csv)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runFigures(figure string, opt bench.Options, csv bool) {
+	var exps []bench.Experiment
+	if figure == "all" {
+		exps = bench.Experiments
+	} else {
+		exp, err := bench.FindExperiment(figure)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		exps = []bench.Experiment{exp}
+	}
+	if csv {
+		fmt.Println("figure,ds,workload,scheme,threads,mops,unreclaimed,slowpaths,exhausted")
+	}
+	for _, exp := range exps {
+		results := bench.Run(exp, opt)
+		if csv {
+			for _, r := range results {
+				fmt.Printf("%s,%s,%s,%s,%d,%.4f,%.1f,%d,%v\n",
+					r.Figure, r.DS, r.Workload, r.Scheme, r.Threads,
+					r.Mops, r.Unreclaimed, r.SlowPaths, r.Exhausted)
+			}
+			continue
+		}
+		printFigure(exp, results)
+	}
+}
+
+// printFigure renders both panels of one paper figure: throughput and
+// unreclaimed objects, rows by thread count and columns by scheme.
+func printFigure(exp bench.Experiment, results []bench.Result) {
+	fmt.Printf("\n=== Figure %s: %s ===\n", exp.ID, exp.Title)
+
+	threadSet := map[int]bool{}
+	for _, r := range results {
+		threadSet[r.Threads] = true
+	}
+	var threads []int
+	for t := range threadSet {
+		threads = append(threads, t)
+	}
+	sort.Ints(threads)
+
+	byKey := map[string]bench.Result{}
+	for _, r := range results {
+		byKey[fmt.Sprintf("%s/%d", r.Scheme, r.Threads)] = r
+	}
+
+	printPanel := func(title string, value func(bench.Result) string, schemes []string) {
+		fmt.Printf("\n%s\n", title)
+		fmt.Printf("%8s", "threads")
+		for _, s := range schemes {
+			fmt.Printf("%12s", s)
+		}
+		fmt.Println()
+		for _, t := range threads {
+			fmt.Printf("%8d", t)
+			for _, s := range schemes {
+				r, ok := byKey[fmt.Sprintf("%s/%d", s, t)]
+				if !ok {
+					fmt.Printf("%12s", "-")
+					continue
+				}
+				fmt.Printf("%12s", value(r))
+			}
+			fmt.Println()
+		}
+	}
+
+	printPanel("Throughput (Mops/s)", func(r bench.Result) string {
+		s := fmt.Sprintf("%.3f", r.Mops)
+		if r.Exhausted {
+			s += "*"
+		}
+		return s
+	}, exp.Schemes)
+
+	// The paper excludes the leak baseline from unreclaimed plots.
+	var noLeak []string
+	for _, s := range exp.Schemes {
+		if s != "Leak" {
+			noLeak = append(noLeak, s)
+		}
+	}
+	printPanel("Unreclaimed objects (mean)", func(r bench.Result) string {
+		return fmt.Sprintf("%.0f", r.Unreclaimed)
+	}, noLeak)
+}
+
+func runAblation(name string, opt bench.Options, csv bool) {
+	var results []bench.AblationResult
+	switch name {
+	case "attempts":
+		results = bench.AblationAttempts(opt)
+	case "slowpath":
+		results = bench.AblationSlowPath(opt)
+	case "erafreq":
+		results = bench.AblationEraFreq(opt)
+	case "stall":
+		results = bench.AblationStall(opt)
+	case "wfeibr":
+		results = bench.AblationWaitFreeIBR(opt)
+	default:
+		fatalf("unknown ablation %q (want attempts, slowpath, erafreq, stall, wfeibr)", name)
+	}
+	if csv {
+		fmt.Println("ablation,param,scheme,ds,threads,mops,slow_per_mop,unreclaimed")
+		for _, r := range results {
+			fmt.Printf("%s,%s,%s,%s,%d,%.4f,%.2f,%.1f\n",
+				r.Ablation, r.Param, r.Scheme, r.DS, r.Threads,
+				r.Mops, r.SlowPerMop, r.Unreclaimed)
+		}
+		return
+	}
+	fmt.Printf("\n=== Ablation: %s ===\n", name)
+	fmt.Printf("%-18s%-10s%-10s%8s%12s%16s%14s\n",
+		"param", "scheme", "ds", "threads", "Mops/s", "slow/Mop", "unreclaimed")
+	for _, r := range results {
+		fmt.Printf("%-18s%-10s%-10s%8d%12.3f%16.2f%14.1f\n",
+			r.Param, r.Scheme, r.DS, r.Threads, r.Mops, r.SlowPerMop, r.Unreclaimed)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "wfebench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,111 @@
+// Command wfelat measures per-operation latency distributions — the metric
+// the paper's introduction motivates wait-freedom with ("latency-sensitive
+// applications where execution time of all operations must be bounded").
+//
+// It runs the lock-free Michael–Scott queue against the two wait-free
+// queues (Kogan–Petrank, CRTurn) under a chosen reclamation scheme and
+// prints the latency percentiles of enqueue+dequeue pairs. The lock-free
+// queue typically wins on median; the wait-free queues and WFE exist for
+// the tail columns.
+//
+//	wfelat -scheme WFE -workers 8 -duration 3s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wfe/internal/ds/crturn"
+	"wfe/internal/ds/kpqueue"
+	"wfe/internal/ds/msqueue"
+	"wfe/internal/mem"
+	"wfe/internal/reclaim"
+	"wfe/internal/schemes"
+)
+
+type queue interface {
+	Enqueue(tid int, v uint64)
+	Dequeue(tid int) (uint64, bool)
+}
+
+func main() {
+	var (
+		schemeName = flag.String("scheme", "WFE", "reclamation scheme")
+		workers    = flag.Int("workers", 8, "worker goroutines")
+		duration   = flag.Duration("duration", 2*time.Second, "measurement time per queue")
+	)
+	flag.Parse()
+
+	fmt.Printf("%-10s %-9s %10s %10s %10s %10s %12s %12s\n",
+		"queue", "progress", "p50", "p99", "p99.9", "p99.99", "max", "pairs/s")
+	for _, q := range []struct {
+		name     string
+		progress string
+		build    func(smr reclaim.Scheme, threads int) queue
+	}{
+		{"MS", "lock-free", func(smr reclaim.Scheme, threads int) queue { return msqueue.New(smr) }},
+		{"KP", "wait-free", func(smr reclaim.Scheme, threads int) queue { return kpqueue.New(smr, threads) }},
+		{"CRTurn", "wait-free", func(smr reclaim.Scheme, threads int) queue { return crturn.New(smr, threads) }},
+	} {
+		lat, rate := measure(*schemeName, *workers, *duration, q.build)
+		fmt.Printf("%-10s %-9s %10s %10s %10s %10s %12s %12.0f\n",
+			q.name, q.progress,
+			pct(lat, 50), pct(lat, 99), pct(lat, 99.9), pct(lat, 99.99),
+			lat[len(lat)-1], rate)
+	}
+}
+
+func measure(schemeName string, workers int, duration time.Duration,
+	build func(reclaim.Scheme, int) queue) ([]time.Duration, float64) {
+	arena := mem.New(mem.Config{Capacity: 1 << 20, MaxThreads: workers, Debug: false})
+	smr, err := schemes.New(schemeName, arena, reclaim.Config{MaxThreads: workers})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wfelat:", err)
+		os.Exit(1)
+	}
+	q := build(smr, workers)
+	for i := uint64(0); i < 1024; i++ { // small standing population
+		q.Enqueue(0, i)
+	}
+
+	var stop atomic.Bool
+	perWorker := make([][]time.Duration, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			lats := make([]time.Duration, 0, 1<<20)
+			for !stop.Load() {
+				t0 := time.Now()
+				q.Enqueue(tid, uint64(tid))
+				q.Dequeue(tid)
+				lats = append(lats, time.Since(t0))
+				if len(lats)&255 == 0 && time.Since(start) > duration {
+					stop.Store(true)
+				}
+			}
+			perWorker[tid] = lats
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, l := range perWorker {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return all, float64(len(all)) / elapsed.Seconds()
+}
+
+func pct(sorted []time.Duration, p float64) time.Duration {
+	idx := int(float64(len(sorted)-1) * p / 100)
+	return sorted[idx]
+}

@@ -1,0 +1,163 @@
+// Command wfestress is the correctness workhorse: it runs any data
+// structure × scheme combination with the arena's use-after-free detection
+// armed, optionally forcing WFE's slow path on every protected read (the
+// paper's §5 stress validation) and optionally stalling reader threads to
+// exercise robustness. Any reclamation bug panics with a use-after-free or
+// double-free diagnostic; a clean exit prints the op and arena census.
+//
+//	wfestress -ds hashmap -scheme WFE -forceslow -threads 8 -duration 5s
+//	wfestress -ds all -scheme all -duration 2s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wfe/internal/bench"
+	"wfe/internal/ds"
+	"wfe/internal/ds/bst"
+	"wfe/internal/ds/crturn"
+	"wfe/internal/ds/hashmap"
+	"wfe/internal/ds/kpqueue"
+	"wfe/internal/ds/list"
+	"wfe/internal/mem"
+	"wfe/internal/reclaim"
+	"wfe/internal/schemes"
+)
+
+var allDS = []string{"list", "hashmap", "bst", "kpqueue", "crturn"}
+
+func main() {
+	var (
+		dsName    = flag.String("ds", "hashmap", "data structure (list, hashmap, bst, kpqueue, crturn, all)")
+		scheme    = flag.String("scheme", "WFE", "reclamation scheme (or 'all')")
+		threads   = flag.Int("threads", 8, "worker goroutines")
+		duration  = flag.Duration("duration", 3*time.Second, "stress duration per combination")
+		keyRange  = flag.Uint64("keyrange", 512, "key range (small ranges maximise conflicts)")
+		forceSlow = flag.Bool("forceslow", false, "force WFE's slow path on every GetProtected")
+		stall     = flag.Int("stall", 0, "number of reader threads to stall mid-operation")
+		eraFreq   = flag.Int("erafreq", 8, "era increment frequency (low values stress helping)")
+	)
+	flag.Parse()
+
+	dss := []string{*dsName}
+	if *dsName == "all" {
+		dss = allDS
+	}
+	scs := []string{*scheme}
+	if *scheme == "all" {
+		scs = []string{"WFE", "WFE-slow", "HE", "HP", "EBR", "2GEIBR", "Leak"}
+	}
+
+	failed := false
+	for _, d := range dss {
+		for _, s := range scs {
+			if err := stress(d, s, *threads, *duration, *keyRange, *forceSlow, *stall, *eraFreq); err != nil {
+				fmt.Fprintf(os.Stderr, "FAIL %-8s %-8s: %v\n", d, s, err)
+				failed = true
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func stress(dsName, schemeName string, threads int, duration time.Duration,
+	keyRange uint64, forceSlow bool, stall, eraFreq int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+
+	capacity := 1 << 20
+	if schemeName == "Leak" {
+		capacity = 1 << 23
+	}
+	a := mem.New(mem.Config{Capacity: capacity, MaxThreads: threads, Debug: true})
+	smr, err := schemes.New(schemeName, a, reclaim.Config{
+		MaxThreads:    threads,
+		EraFreq:       eraFreq,
+		CleanupFreq:   4,
+		ForceSlowPath: forceSlow,
+	})
+	if err != nil {
+		return err
+	}
+
+	var kv ds.KV
+	switch dsName {
+	case "list":
+		kv = list.New(smr).KV()
+	case "hashmap":
+		kv = hashmap.New(smr, 64).KV()
+	case "bst":
+		kv = bst.New(smr).KV()
+	case "kpqueue":
+		kv = kpqueue.New(smr, threads).KV()
+	case "crturn":
+		kv = crturn.New(smr, threads).KV()
+	default:
+		return fmt.Errorf("unknown data structure %q", dsName)
+	}
+	isQueue := bench.IsQueue(dsName)
+
+	var (
+		stop atomic.Bool
+		ops  atomic.Uint64
+		wg   sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			if tid < stall && !isQueue {
+				// Stalled reader: sit inside one operation the whole run.
+				smr.Begin(tid)
+				for !stop.Load() {
+					time.Sleep(time.Millisecond)
+				}
+				smr.Clear(tid)
+				return
+			}
+			rng := rand.New(rand.NewSource(int64(tid)*31337 + 1))
+			for !stop.Load() {
+				key := uint64(rng.Int63n(int64(keyRange)))
+				op := rng.Intn(100)
+				switch {
+				case isQueue: // queues support only insert/delete, kept balanced
+					if op < 50 {
+						kv.Insert(tid, key)
+					} else {
+						kv.Delete(tid, key)
+					}
+				case op < 40:
+					kv.Insert(tid, key)
+				case op < 80:
+					kv.Delete(tid, key)
+				case op < 90:
+					kv.Get(tid, key)
+				default:
+					kv.Put(tid, key)
+				}
+				ops.Add(1)
+			}
+		}(w)
+	}
+	time.Sleep(duration)
+	stop.Store(true)
+	wg.Wait()
+
+	st := a.Stats()
+	fmt.Printf("PASS %-8s %-8s: %d ops in %v, %d live blocks, %d unreclaimed, allocs=%d frees=%d\n",
+		dsName, schemeName, ops.Load(), time.Since(start).Round(time.Millisecond),
+		st.InUse, smr.Unreclaimed(), st.Allocs, st.Frees)
+	return nil
+}

@@ -1,0 +1,28 @@
+// Package wfe is a Go reproduction of "Universal Wait-Free Memory
+// Reclamation" (Nikolaev & Ravindran, PPoPP 2020): the Wait-Free Eras (WFE)
+// scheme, the baselines it is evaluated against (Hazard Eras, Hazard
+// Pointers, epoch-based reclamation, 2GEIBR interval-based reclamation and
+// a leaky baseline), the six concurrent data structures of the paper's
+// evaluation, and the benchmark harness that regenerates every figure.
+//
+// Layout:
+//
+//	internal/core     WFE, the paper's contribution (Figure 4)
+//	internal/he       Hazard Eras (Figure 1)
+//	internal/hp       Hazard Pointers
+//	internal/ebr      epoch-based reclamation
+//	internal/ibr      2GEIBR interval-based reclamation
+//	internal/leak     leaky baseline
+//	internal/mem      manual-memory arena substrate
+//	internal/pack     64-bit packing emulating the paper's wide CAS
+//	internal/reclaim  the shared SMR interface and configuration
+//	internal/ds/...   Treiber stack, Harris–Michael list, Michael hash map,
+//	                  Natarajan–Mittal BST, Kogan–Petrank and CRTurn queues
+//	internal/bench    workload generator and per-figure experiment runner
+//	cmd/wfebench      regenerates Figures 5–11 and the ablations
+//	cmd/wfestress     correctness stress tool (forced slow path, stalls)
+//	examples/...      runnable API walkthroughs
+//
+// The benchmarks in bench_test.go measure one configuration per paper
+// figure; cmd/wfebench performs the full thread sweeps.
+package wfe

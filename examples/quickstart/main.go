@@ -1,0 +1,71 @@
+// Quickstart: the paper's usage example (Figure 2) — Treiber's lock-free
+// stack managed by Wait-Free Eras.
+//
+// It shows the whole reclamation API surface in one sitting:
+//
+//   - build an arena (the manual-memory substrate) and a WFE scheme on it,
+//   - Push allocates blocks via the scheme (stamping their alloc era),
+//   - Pop protects the top block with GetProtected before dereferencing,
+//     retires it after unlinking, and Clear drops the reservations,
+//   - freed blocks are recycled: the arena census stays flat no matter how
+//     many operations run.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"wfe/internal/core"
+	"wfe/internal/ds/stack"
+	"wfe/internal/mem"
+	"wfe/internal/reclaim"
+)
+
+func main() {
+	const workers = 4
+
+	// The arena bounds memory: 4096 node slots serve millions of operations
+	// because WFE recycles retired nodes promptly.
+	arena := mem.New(mem.Config{Capacity: 4096, MaxThreads: workers, Debug: true})
+	wfe := core.New(arena, reclaim.Config{MaxThreads: workers})
+	s := stack.New(wfe)
+
+	// Single-threaded taste: LIFO order.
+	s.Push(0, 1)
+	s.Push(0, 2)
+	s.Push(0, 3)
+	for {
+		v, ok := s.Pop(0)
+		if !ok {
+			break
+		}
+		fmt.Printf("popped %d\n", v)
+	}
+
+	// Concurrent churn: every worker pushes and pops 100k times. The debug
+	// arena would panic on any use-after-free; the slot census proves
+	// reclamation keeps memory bounded.
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < 100_000; i++ {
+				s.Push(tid, uint64(tid)<<32|uint64(i))
+				if v, ok := s.Pop(tid); !ok || v == 0 && tid != 0 {
+					_ = v // values are checked by the stack tests; this is a demo
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := arena.Stats()
+	fmt.Printf("\nafter %d ops: allocs=%d frees=%d live=%d (arena capacity %d)\n",
+		2*workers*100_000, st.Allocs, st.Frees, st.InUse, arena.Capacity())
+	fmt.Printf("global era advanced to %d; slow paths taken: %d\n", wfe.Era(), wfe.SlowPaths())
+}

@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"runtime"
+	"strconv"
+	"time"
+)
+
+// AblationResult is one measured ablation point.
+type AblationResult struct {
+	Ablation string
+	Param    string // swept parameter value
+	Scheme   string
+	DS       string
+	Threads  int
+	Mops     float64
+	// SlowPerMop is WFE slow-path entries per million operations.
+	SlowPerMop  float64
+	Unreclaimed float64
+}
+
+func toAblation(name, param string, r Result) AblationResult {
+	slowPerMop := 0.0
+	if r.Ops > 0 {
+		slowPerMop = float64(r.SlowPaths) / (float64(r.Ops) / 1e6)
+	}
+	return AblationResult{
+		Ablation: name, Param: param, Scheme: r.Scheme, DS: r.DS,
+		Threads: r.Threads, Mops: r.Mops, SlowPerMop: slowPerMop,
+		Unreclaimed: r.Unreclaimed,
+	}
+}
+
+func fixedThreads() int { return runtime.GOMAXPROCS(0) }
+
+// AblationAttempts sweeps WFE's fast-path attempt budget (default 16, §5):
+// fewer attempts push more GetProtected calls onto the slow path.
+func AblationAttempts(opt Options) []AblationResult {
+	opt = opt.Defaults()
+	exp, _ := FindExperiment("7") // hash map, write-heavy: allocation-hot
+	exp.Schemes = []string{"WFE"}
+	var out []AblationResult
+	for _, attempts := range []int{1, 2, 4, 8, 16, 64, 256} {
+		o := opt
+		o.MaxAttempts = attempts
+		o.Threads = []int{fixedThreads()}
+		for _, r := range Run(exp, o) {
+			out = append(out, toAblation("attempts", strconv.Itoa(attempts), r))
+		}
+	}
+	return out
+}
+
+// AblationSlowPath compares normal WFE against the forced-slow-path
+// configuration the paper uses as a stress validation (§5).
+func AblationSlowPath(opt Options) []AblationResult {
+	opt = opt.Defaults()
+	opt.Threads = []int{fixedThreads()}
+	var out []AblationResult
+	for _, figure := range []string{"5a", "5c", "6", "7", "8"} {
+		exp, _ := FindExperiment(figure)
+		exp.Schemes = []string{"WFE", "WFE-slow"}
+		for _, r := range Run(exp, opt) {
+			out = append(out, toAblation("slowpath", exp.DS, r))
+		}
+	}
+	return out
+}
+
+// AblationEraFreq sweeps ν, the era-increment frequency (default 150):
+// lower ν advances the clock more often (faster reclamation, more clock
+// contention and more fast-path retries).
+func AblationEraFreq(opt Options) []AblationResult {
+	opt = opt.Defaults()
+	exp, _ := FindExperiment("7")
+	exp.Schemes = []string{"WFE", "HE"}
+	var out []AblationResult
+	for _, freq := range []int{10, 50, 150, 500, 2000} {
+		o := opt
+		o.EraFreq = freq
+		o.Threads = []int{fixedThreads()}
+		for _, r := range Run(exp, o) {
+			out = append(out, toAblation("erafreq", strconv.Itoa(freq), r))
+		}
+	}
+	return out
+}
+
+// AblationStall reproduces the paper's robustness argument: one reader
+// stalls mid-operation while the rest churn. EBR's unreclaimed count grows
+// with the run; the bounded schemes stay flat.
+func AblationStall(opt Options) []AblationResult {
+	opt = opt.Defaults()
+	opt.StallThreads = 1
+	if opt.Duration < time.Second {
+		opt.Duration = time.Second
+	}
+	threads := fixedThreads()
+	if threads < 2 {
+		threads = 2
+	}
+	opt.Threads = []int{threads}
+	exp, _ := FindExperiment("7")
+	exp.Schemes = []string{"WFE", "HE", "HP", "EBR", "2GEIBR"}
+	var out []AblationResult
+	for _, r := range Run(exp, opt) {
+		out = append(out, toAblation("stall", "1 stalled reader", r))
+	}
+	return out
+}
+
+// AblationWaitFreeIBR measures the extension the paper sketches (§2.4):
+// 2GEIBR made wait-free with the WFE construction, against plain 2GEIBR and
+// WFE, on the allocation-hot hash map and the traversal-hot list.
+func AblationWaitFreeIBR(opt Options) []AblationResult {
+	opt = opt.Defaults()
+	opt.Threads = []int{fixedThreads()}
+	var out []AblationResult
+	for _, figure := range []string{"7", "6"} {
+		exp, _ := FindExperiment(figure)
+		exp.Schemes = []string{"2GEIBR", "WFE-IBR", "WFE"}
+		for _, r := range Run(exp, opt) {
+			out = append(out, toAblation("wfeibr", exp.DS, r))
+		}
+	}
+	return out
+}

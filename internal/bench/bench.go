@@ -1,0 +1,369 @@
+// Package bench is the paper's evaluation harness (§5): it drives the
+// abstract key-value interface over every data structure × reclamation
+// scheme combination, sweeping thread counts, and reports the two series
+// every figure plots — throughput (Mops/s) and the number of unreclaimed
+// objects — plus the ablations DESIGN.md calls out.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wfe/internal/core"
+	"wfe/internal/ds"
+	"wfe/internal/ds/bst"
+	"wfe/internal/ds/crturn"
+	"wfe/internal/ds/hashmap"
+	"wfe/internal/ds/kpqueue"
+	"wfe/internal/ds/list"
+	"wfe/internal/mem"
+	"wfe/internal/reclaim"
+	"wfe/internal/schemes"
+)
+
+// Workload is an operation mix in percent (summing to 100).
+type Workload struct {
+	Name                           string
+	Insert, Delete, GetPct, PutPct int
+}
+
+// The paper's two mixes (§5).
+var (
+	WriteHeavy = Workload{Name: "50i/50d", Insert: 50, Delete: 50}
+	ReadMostly = Workload{Name: "90g/10p", GetPct: 90, PutPct: 10}
+)
+
+// Experiment describes one paper figure (one data structure × workload).
+type Experiment struct {
+	ID       string // "5a", "6", ...
+	Title    string
+	DS       string // builder name
+	Workload Workload
+	Schemes  []string
+}
+
+var allSchemes = []string{"WFE", "HE", "HP", "EBR", "2GEIBR", "Leak"}
+
+// Experiments indexes every figure in the paper's evaluation. Figures with
+// two panels (throughput / unreclaimed) are one experiment here: Run
+// reports both metrics.
+var Experiments = []Experiment{
+	{ID: "5a", Title: "KP queue, 50% insert / 50% delete", DS: "kpqueue", Workload: WriteHeavy, Schemes: allSchemes},
+	{ID: "5c", Title: "CRTurn queue, 50% insert / 50% delete", DS: "crturn", Workload: WriteHeavy, Schemes: allSchemes},
+	{ID: "6", Title: "Linked list, 50% insert / 50% delete", DS: "list", Workload: WriteHeavy, Schemes: allSchemes},
+	{ID: "7", Title: "Hash map, 50% insert / 50% delete", DS: "hashmap", Workload: WriteHeavy, Schemes: allSchemes},
+	{ID: "8", Title: "Natarajan BST, 50% insert / 50% delete", DS: "bst", Workload: WriteHeavy, Schemes: allSchemes},
+	{ID: "9", Title: "Linked list, 90% get / 10% put", DS: "list", Workload: ReadMostly, Schemes: allSchemes},
+	{ID: "10", Title: "Hash map, 90% get / 10% put", DS: "hashmap", Workload: ReadMostly, Schemes: allSchemes},
+	{ID: "11", Title: "Natarajan BST, 90% get / 10% put", DS: "bst", Workload: ReadMostly, Schemes: allSchemes},
+}
+
+// FindExperiment resolves a figure id ("5a" and "5b" map to the same
+// experiment, as do "5c"/"5d" — the letters select the panel).
+func FindExperiment(id string) (Experiment, error) {
+	switch id {
+	case "5b":
+		id = "5a"
+	case "5d":
+		id = "5c"
+	}
+	for _, e := range Experiments {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("bench: unknown figure %q", id)
+}
+
+// Options are the sweep parameters, defaulting to the paper's values with a
+// shorter duration (the -paper flag of cmd/wfebench restores 10s × 5).
+type Options struct {
+	Threads     []int         // thread counts to sweep
+	Duration    time.Duration // per measurement
+	Repeat      int           // repetitions (best Mops reported, like the paper's max-of-5)
+	Prefill     int           // initial elements (paper: 50000)
+	KeyRange    uint64        // keys drawn uniformly from [0, KeyRange) (paper: 100000)
+	EraFreq     int           // ν (paper: 150)
+	CleanupFreq int           // retire scan frequency (paper: 30)
+	MaxAttempts int           // WFE fast-path attempts (paper: 16)
+	Capacity    int           // arena slots; 0 sizes automatically
+	// StallThreads makes the first N workers stall inside an operation
+	// (announced/holding one protection) for the whole run — the
+	// preempted-reader scenario of ablation A4.
+	StallThreads int
+	// Pin wires each worker to an OS thread (runtime.LockOSThread),
+	// approximating the paper's pinned-thread methodology.
+	Pin bool
+}
+
+// Defaults fills unset fields.
+func (o Options) Defaults() Options {
+	if len(o.Threads) == 0 {
+		for t := 1; t <= runtime.GOMAXPROCS(0); t *= 2 {
+			o.Threads = append(o.Threads, t)
+		}
+	}
+	if o.Duration == 0 {
+		o.Duration = 500 * time.Millisecond
+	}
+	if o.Repeat == 0 {
+		o.Repeat = 1
+	}
+	if o.Prefill == 0 {
+		o.Prefill = 50000
+	}
+	if o.KeyRange == 0 {
+		o.KeyRange = 100000
+	}
+	if o.EraFreq == 0 {
+		o.EraFreq = 150
+	}
+	if o.CleanupFreq == 0 {
+		o.CleanupFreq = 30
+	}
+	if o.MaxAttempts == 0 {
+		o.MaxAttempts = 16
+	}
+	return o
+}
+
+// Result is one measured point (one scheme at one thread count).
+type Result struct {
+	Figure      string
+	DS          string
+	Workload    string
+	Scheme      string
+	Threads     int
+	Mops        float64
+	Ops         uint64  // total operations completed
+	Unreclaimed float64 // mean sampled retired-not-freed blocks
+	SlowPaths   uint64  // WFE only: slow-path entries during measurement
+	Exhausted   bool    // arena filled up mid-run (Leak with long durations)
+}
+
+// buildKV instantiates a data structure over a scheme sized for threads.
+func buildKV(name string, smr reclaim.Scheme, threads int, keyRange uint64) ds.KV {
+	switch name {
+	case "list":
+		return list.New(smr).KV()
+	case "hashmap":
+		return hashmap.New(smr, int(keyRange)).KV()
+	case "bst":
+		return bst.New(smr).KV()
+	case "kpqueue":
+		return kpqueue.New(smr, threads).KV()
+	case "crturn":
+		return crturn.New(smr, threads).KV()
+	}
+	panic("bench: unknown data structure " + name)
+}
+
+// IsQueue reports whether the structure only supports insert/delete.
+func IsQueue(name string) bool { return name == "kpqueue" || name == "crturn" }
+
+// Run sweeps one experiment and returns a result per scheme × thread count.
+func Run(exp Experiment, opt Options) []Result {
+	opt = opt.Defaults()
+	var results []Result
+	for _, threads := range opt.Threads {
+		for _, scheme := range exp.Schemes {
+			best := Result{}
+			for rep := 0; rep < opt.Repeat; rep++ {
+				r := runOne(exp, scheme, threads, opt)
+				if r.Mops > best.Mops || rep == 0 {
+					best = r
+				}
+			}
+			results = append(results, best)
+		}
+	}
+	return results
+}
+
+// prefillKeys draws distinct random keys (the paper prefills 50K elements
+// from the key range).
+func prefillKeys(n int, keyRange uint64, rng *rand.Rand) []uint64 {
+	if uint64(n) > keyRange {
+		n = int(keyRange)
+	}
+	seen := make(map[uint64]struct{}, n)
+	keys := make([]uint64, 0, n)
+	for len(keys) < n {
+		k := uint64(rng.Int63n(int64(keyRange)))
+		if _, dup := seen[k]; !dup {
+			seen[k] = struct{}{}
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func arenaCapacity(exp Experiment, scheme string, opt Options, threads int) int {
+	if opt.Capacity != 0 {
+		return opt.Capacity
+	}
+	// Live set + retired backlog headroom. The leak baseline burns one slot
+	// per insert for the whole run; give it the largest arena that still
+	// fits comfortably in memory and let Exhausted flag truncated runs.
+	if scheme == "Leak" {
+		return 1 << 22
+	}
+	capacity := 4*opt.Prefill + threads*4096 + 1<<14
+	return capacity
+}
+
+func runOne(exp Experiment, schemeName string, threads int, opt Options) Result {
+	a := mem.New(mem.Config{
+		Capacity:   arenaCapacity(exp, schemeName, opt, threads),
+		MaxThreads: threads,
+		Debug:      false,
+	})
+	smr, err := schemes.New(schemeName, a, reclaim.Config{
+		MaxThreads:  threads,
+		EraFreq:     opt.EraFreq,
+		CleanupFreq: opt.CleanupFreq,
+		MaxAttempts: opt.MaxAttempts,
+	})
+	if err != nil {
+		panic(err)
+	}
+	kv := buildKV(exp.DS, smr, threads, opt.KeyRange)
+
+	// Prefill: queues get 50K enqueues; maps get 50K distinct keys.
+	rng := rand.New(rand.NewSource(12345))
+	if seeder, ok := kv.(ds.Seeder); ok && !IsQueue(exp.DS) {
+		seeder.Seed(0, prefillKeys(opt.Prefill, opt.KeyRange, rng))
+	} else if s2, ok2 := kv.(ds.Seeder); ok2 {
+		keys := make([]uint64, opt.Prefill)
+		for i := range keys {
+			keys[i] = uint64(rng.Int63n(int64(opt.KeyRange)))
+		}
+		s2.Seed(0, keys)
+	}
+
+	var (
+		stop      atomic.Bool
+		exhausted atomic.Bool
+		opsByTid  = make([]uint64, threads)
+	)
+	baseSlow := slowPaths(smr)
+
+	// Unreclaimed sampler (the paper's second panel).
+	var samples []int
+	samplerDone := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for !stop.Load() {
+			<-tick.C
+			samples = append(samples, smr.Unreclaimed())
+		}
+	}()
+
+	// A stalled reader pins one protection for the whole run (ablation A4).
+	var stallRoot atomic.Uint64
+	if opt.StallThreads > 0 {
+		h := smr.Alloc(0)
+		stallRoot.Store(h)
+	}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			if opt.Pin {
+				runtime.LockOSThread()
+				defer runtime.UnlockOSThread()
+			}
+			defer func() {
+				if r := recover(); r != nil {
+					// Arena exhaustion (leak baseline on long runs).
+					exhausted.Store(true)
+					stop.Store(true)
+				}
+			}()
+			if tid < opt.StallThreads {
+				smr.Begin(tid)
+				smr.GetProtected(tid, &stallRoot, 0, 0)
+				for !stop.Load() {
+					time.Sleep(time.Millisecond)
+					if time.Since(start) > opt.Duration {
+						stop.Store(true)
+					}
+				}
+				smr.Clear(tid)
+				return
+			}
+			ops := uint64(0)
+			r := rand.New(rand.NewSource(int64(tid)*7919 + 1))
+			w := exp.Workload
+			for !stop.Load() {
+				key := uint64(r.Int63n(int64(opt.KeyRange)))
+				pick := r.Intn(100)
+				switch {
+				case pick < w.Insert:
+					kv.Insert(tid, key)
+				case pick < w.Insert+w.Delete:
+					kv.Delete(tid, key)
+				case pick < w.Insert+w.Delete+w.GetPct:
+					kv.Get(tid, key)
+				default:
+					kv.Put(tid, key)
+				}
+				ops++
+				if ops&63 == 0 && time.Since(start) > opt.Duration {
+					stop.Store(true)
+				}
+			}
+			opsByTid[tid] = ops
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	stop.Store(true)
+	<-samplerDone
+
+	var totalOps uint64
+	for _, n := range opsByTid {
+		totalOps += n
+	}
+	var unreclaimed float64
+	if len(samples) > 0 {
+		sum := 0
+		for _, s := range samples {
+			sum += s
+		}
+		unreclaimed = float64(sum) / float64(len(samples))
+	} else {
+		unreclaimed = float64(smr.Unreclaimed())
+	}
+
+	return Result{
+		Figure:      exp.ID,
+		DS:          exp.DS,
+		Workload:    exp.Workload.Name,
+		Scheme:      schemeName,
+		Threads:     threads,
+		Mops:        float64(totalOps) / elapsed.Seconds() / 1e6,
+		Ops:         totalOps,
+		Unreclaimed: unreclaimed,
+		SlowPaths:   slowPaths(smr) - baseSlow,
+		Exhausted:   exhausted.Load(),
+	}
+}
+
+func slowPaths(smr reclaim.Scheme) uint64 {
+	if w, ok := smr.(*core.WFE); ok {
+		return w.SlowPaths()
+	}
+	return 0
+}

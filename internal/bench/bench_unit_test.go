@@ -1,0 +1,228 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestExperimentTableCoversThePaper(t *testing.T) {
+	// Every evaluation figure must be regenerable: 5a/5c (queues) plus
+	// 6–11 (list, hashmap, BST × two workloads).
+	wantDS := map[string]string{
+		"5a": "kpqueue", "5c": "crturn",
+		"6": "list", "7": "hashmap", "8": "bst",
+		"9": "list", "10": "hashmap", "11": "bst",
+	}
+	if len(Experiments) != len(wantDS) {
+		t.Fatalf("%d experiments, want %d", len(Experiments), len(wantDS))
+	}
+	for id, ds := range wantDS {
+		exp, err := FindExperiment(id)
+		if err != nil {
+			t.Fatalf("figure %s missing: %v", id, err)
+		}
+		if exp.DS != ds {
+			t.Errorf("figure %s uses %s, want %s", id, exp.DS, ds)
+		}
+		if len(exp.Schemes) != 6 {
+			t.Errorf("figure %s runs %d schemes, want 6", id, len(exp.Schemes))
+		}
+	}
+}
+
+func TestFigurePanelAliases(t *testing.T) {
+	a, err := FindExperiment("5b")
+	if err != nil || a.ID != "5a" {
+		t.Fatalf("5b should alias 5a, got %v %v", a.ID, err)
+	}
+	d, err := FindExperiment("5d")
+	if err != nil || d.ID != "5c" {
+		t.Fatalf("5d should alias 5c, got %v %v", d.ID, err)
+	}
+	if _, err := FindExperiment("99"); err == nil {
+		t.Fatal("unknown figure did not error")
+	}
+}
+
+func TestWorkloadMixesSumTo100(t *testing.T) {
+	for _, w := range []Workload{WriteHeavy, ReadMostly} {
+		if w.Insert+w.Delete+w.GetPct+w.PutPct != 100 {
+			t.Errorf("workload %s sums to %d", w.Name, w.Insert+w.Delete+w.GetPct+w.PutPct)
+		}
+	}
+}
+
+func TestPrefillKeysDistinctAndSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	keys := prefillKeys(1000, 100000, rng)
+	if len(keys) != 1000 {
+		t.Fatalf("got %d keys", len(keys))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			t.Fatalf("keys not strictly increasing at %d", i)
+		}
+	}
+	// Clamped when the range is smaller than the request.
+	small := prefillKeys(50, 10, rng)
+	if len(small) != 10 {
+		t.Fatalf("clamped prefill = %d keys, want 10", len(small))
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real measurements")
+	}
+	exp, _ := FindExperiment("7")
+	exp.Schemes = []string{"WFE", "EBR"}
+	opt := Options{
+		Threads:  []int{2},
+		Duration: 50 * time.Millisecond,
+		Prefill:  500,
+		KeyRange: 1000,
+	}
+	results := Run(exp, opt)
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, r := range results {
+		if r.Mops <= 0 || r.Ops == 0 {
+			t.Errorf("%s: no throughput measured: %+v", r.Scheme, r)
+		}
+		if r.Exhausted {
+			t.Errorf("%s: arena exhausted on a smoke run", r.Scheme)
+		}
+	}
+}
+
+func TestRunQueueSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real measurements")
+	}
+	for _, id := range []string{"5a", "5c"} {
+		exp, _ := FindExperiment(id)
+		exp.Schemes = []string{"WFE"}
+		opt := Options{
+			Threads:  []int{2},
+			Duration: 50 * time.Millisecond,
+			Prefill:  500,
+			KeyRange: 1000,
+		}
+		results := Run(exp, opt)
+		if len(results) != 1 || results[0].Mops <= 0 {
+			t.Fatalf("figure %s: %+v", id, results)
+		}
+	}
+}
+
+func TestStallOptionKeepsStalledThreadIdle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real measurements")
+	}
+	exp, _ := FindExperiment("7")
+	exp.Schemes = []string{"EBR"}
+	opt := Options{
+		Threads:      []int{2},
+		Duration:     100 * time.Millisecond,
+		Prefill:      500,
+		KeyRange:     1000,
+		CleanupFreq:  1,
+		EraFreq:      1,
+		StallThreads: 1,
+	}
+	r := Run(exp, opt)[0]
+	// With one of two threads stalled and EBR pinned, the backlog must be
+	// substantial relative to the op count.
+	if r.Unreclaimed < 100 {
+		t.Fatalf("EBR backlog %f despite stalled reader", r.Unreclaimed)
+	}
+}
+
+func TestAllFiguresRunnable(t *testing.T) {
+	// Integration smoke across every figure: builders, prefill paths and
+	// workload dispatch must work for every data structure.
+	if testing.Short() {
+		t.Skip("runs real measurements")
+	}
+	opt := Options{
+		Threads:  []int{2},
+		Duration: 30 * time.Millisecond,
+		Prefill:  200,
+		KeyRange: 500,
+	}
+	for _, exp := range Experiments {
+		exp := exp
+		exp.Schemes = []string{"WFE"}
+		t.Run("fig"+exp.ID, func(t *testing.T) {
+			results := Run(exp, opt)
+			if len(results) != 1 {
+				t.Fatalf("got %d results", len(results))
+			}
+			if results[0].Ops == 0 {
+				t.Fatalf("figure %s measured no operations", exp.ID)
+			}
+		})
+	}
+}
+
+func TestArenaCapacityAuto(t *testing.T) {
+	exp, _ := FindExperiment("7")
+	opt := Options{Prefill: 50000}.Defaults()
+	if got := arenaCapacity(exp, "WFE", opt, 8); got < 4*opt.Prefill {
+		t.Fatalf("auto capacity %d too small for prefill %d", got, opt.Prefill)
+	}
+	if got := arenaCapacity(exp, "Leak", opt, 8); got < 1<<22 {
+		t.Fatalf("leak capacity %d too small", got)
+	}
+	opt.Capacity = 777
+	if got := arenaCapacity(exp, "WFE", opt, 8); got != 777 {
+		t.Fatalf("explicit capacity not honoured: %d", got)
+	}
+}
+
+func TestAblationsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real measurements")
+	}
+	opt := Options{
+		Threads:  []int{2},
+		Duration: 25 * time.Millisecond,
+		Prefill:  200,
+		KeyRange: 500,
+	}
+	for name, run := range map[string]func(Options) []AblationResult{
+		"slowpath": AblationSlowPath,
+		"erafreq":  AblationEraFreq,
+		"wfeibr":   AblationWaitFreeIBR,
+	} {
+		results := run(opt)
+		if len(results) == 0 {
+			t.Errorf("ablation %s produced no results", name)
+		}
+		for _, r := range results {
+			if r.Mops < 0 {
+				t.Errorf("ablation %s: negative throughput: %+v", name, r)
+			}
+		}
+	}
+}
+
+func TestPinnedRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real measurements")
+	}
+	exp, _ := FindExperiment("7")
+	exp.Schemes = []string{"WFE"}
+	opt := Options{
+		Threads:  []int{2},
+		Duration: 30 * time.Millisecond,
+		Prefill:  200,
+		KeyRange: 500,
+		Pin:      true,
+	}
+	if r := Run(exp, opt)[0]; r.Ops == 0 {
+		t.Fatal("pinned run measured no operations")
+	}
+}

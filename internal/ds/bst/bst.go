@@ -1,0 +1,409 @@
+// Package bst implements the Natarajan–Mittal lock-free external binary
+// search tree (PPoPP 2014), the paper's most complex lock-free workload
+// (Figures 8 and 11).
+//
+// Structure: internal nodes route (key < node.key goes left); every key
+// lives in a leaf. Deletion is two-phase: the *injection* CAS flags the
+// parent→leaf edge (the linearization point), then *cleanup* tags the
+// parent's sibling edge — freezing the parent — and swings the grandparent
+// edge from the parent to the sibling, unlinking parent and leaf.
+//
+// Reclamation discipline. The original algorithm lets traversals walk
+// through frozen (flagged/tagged) edges; under bounded memory reclamation
+// that is unsafe, because a frozen edge inside a retired node can lead to a
+// block that was already unlinked — and therefore possibly freed — before
+// the traversal protected it. This implementation instead never crosses a
+// frozen edge: GetProtected returns the edge value read under protection,
+// and a clean (unfrozen) value proves the child had not been unlinked at
+// the read — so its retirement, if any, postdates the reservation and the
+// block cannot be freed while protected. On meeting a frozen edge the
+// traversal helps complete the pending deletion (cleanup) and restarts from
+// the root. Consequently every cleanup unlinks exactly one internal node
+// and one leaf, and the thread whose grandparent CAS succeeds retires both,
+// exactly once. This trades the original's multi-node helping chains for
+// restart-with-help; both are lock-free and the benchmark shapes are
+// unaffected.
+package bst
+
+import (
+	"wfe/internal/ds"
+	"wfe/internal/mem"
+	"wfe/internal/pack"
+	"wfe/internal/reclaim"
+)
+
+const (
+	leftWord   = 0 // child edge words: handle | flagBit | tagBit
+	rightWord  = 1
+	isLeafWord = 2 // 1 for leaves, 0 for internal nodes
+
+	// flagBit marks an edge whose child leaf is being deleted; tagBit
+	// freezes the sibling edge while the sibling moves up.
+	flagBit = pack.MarkBit
+	tagBit  = pack.FlagBit
+
+	// Sentinel keys: every real key must be below KeyMax.
+	inf2   = ^uint64(0)
+	inf1   = ^uint64(1)
+	KeyMax = inf1 - 1
+)
+
+func frozen(edge uint64) bool { return edge&(flagBit|tagBit) != 0 }
+
+// Tree is a lock-free external BST of uint64 keys in [0, KeyMax].
+type Tree struct {
+	smr reclaim.Scheme
+	// root ("R") and its left child ("S") are sentinels that are never
+	// flagged, tagged or removed; all real keys live under S's left edge.
+	root mem.Handle
+	s    mem.Handle
+}
+
+// New creates an empty tree managed by the given scheme. The three blocks
+// of the sentinel skeleton are allocated on behalf of thread 0.
+func New(smr reclaim.Scheme) *Tree {
+	a := smr.Arena()
+	mk := func(key uint64, leaf bool) mem.Handle {
+		h := smr.Alloc(0)
+		a.SetKey(h, key)
+		if leaf {
+			a.StoreWord(h, isLeafWord, 1)
+		} else {
+			a.StoreWord(h, isLeafWord, 0)
+		}
+		a.StoreWord(h, leftWord, 0)
+		a.StoreWord(h, rightWord, 0)
+		return h
+	}
+	t := &Tree{smr: smr}
+	t.root = mk(inf2, false)
+	t.s = mk(inf1, false)
+	a.StoreWord(t.s, leftWord, mk(inf1, true))
+	a.StoreWord(t.s, rightWord, mk(inf2, true))
+	a.StoreWord(t.root, leftWord, t.s)
+	a.StoreWord(t.root, rightWord, mk(inf2, true))
+	return t
+}
+
+func (t *Tree) isLeaf(h mem.Handle) bool {
+	return t.smr.Arena().LoadWord(h, isLeafWord) == 1
+}
+
+// dir returns the child word to follow for key at an internal node.
+func (t *Tree) dir(node mem.Handle, key uint64) int {
+	if key < t.smr.Arena().Key(node) {
+		return leftWord
+	}
+	return rightWord
+}
+
+// seekRecord is the traversal result: the leaf terminating the search path,
+// its parent, the parent's parent (the cleanup ancestor), plus the clean
+// edge value and direction from parent to leaf.
+type seekRecord struct {
+	anc, par, leaf mem.Handle
+	leafEdge       uint64 // clean link value of the parent→leaf edge
+	leafDir        int    // which child word of par holds the leaf
+}
+
+// seek walks from the root to the leaf on key's search path. It maintains
+// protections for the (grandparent, parent, current) window across four
+// rotating reservation indices and never crosses a frozen edge: on meeting
+// one it helps the pending deletion and restarts.
+func (t *Tree) seek(tid int, key uint64, sr *seekRecord) {
+	a := t.smr.Arena()
+retry:
+	for {
+		gp, par := t.root, t.s
+		dir := t.dir(par, key)
+		igp, ipar, icur, inext := 0, 1, 2, 3
+		curVal := t.smr.GetProtected(tid, a.WordAddr(par, dir), icur, par)
+		for {
+			cur := pack.Handle(curVal)
+			if t.isLeaf(cur) {
+				sr.anc, sr.par, sr.leaf = gp, par, cur
+				sr.leafEdge = curVal
+				sr.leafDir = dir
+				return
+			}
+			ndir := t.dir(cur, key)
+			nextVal := t.smr.GetProtected(tid, a.WordAddr(cur, ndir), inext, cur)
+			if frozen(nextVal) {
+				// cur is a parent under deletion; finish that deletion and
+				// restart so the path window stays on live nodes.
+				t.cleanup(tid, par, cur)
+				continue retry
+			}
+			gp, par = par, cur
+			dir = ndir
+			curVal = nextVal
+			igp, ipar, icur, inext = ipar, icur, inext, igp
+		}
+	}
+}
+
+// cleanup completes a pending deletion at parent par whose grandparent is
+// anc: it tags the sibling edge (freezing par), swings anc's edge from par
+// to the sibling, and — on winning the swing CAS — retires par and the
+// flagged leaf. It reports whether this call performed the unlink.
+func (t *Tree) cleanup(tid int, anc, par mem.Handle) bool {
+	a := t.smr.Arena()
+
+	leftV := a.LoadWord(par, leftWord)
+	rightV := a.LoadWord(par, rightWord)
+	var victimDir, sibDir int
+	switch {
+	case leftV&flagBit != 0:
+		victimDir, sibDir = leftWord, rightWord
+	case rightV&flagBit != 0:
+		victimDir, sibDir = rightWord, leftWord
+	default:
+		return false // nothing pending (already helped)
+	}
+
+	// Freeze the sibling edge. Bounded retries: the edge can change at most
+	// until the tag lands; competitors set the same bit.
+	sv := a.LoadWord(par, sibDir)
+	for sv&tagBit == 0 {
+		a.CASWord(par, sibDir, sv, sv|tagBit)
+		sv = a.LoadWord(par, sibDir)
+	}
+
+	// Move the sibling up, preserving a pending flag on it but not the tag.
+	newEdge := pack.Handle(sv) | sv&flagBit
+
+	// Find which edge of anc holds par; it must be clean to swing.
+	var ancDir int
+	switch {
+	case pack.Handle(a.LoadWord(anc, leftWord)) == par:
+		ancDir = leftWord
+	case pack.Handle(a.LoadWord(anc, rightWord)) == par:
+		ancDir = rightWord
+	default:
+		return false // anc no longer points at par; someone else unlinked
+	}
+	if !a.CASWord(anc, ancDir, par, newEdge) {
+		return false
+	}
+	// We unlinked {par, victim leaf}: retire both, exactly once.
+	victim := pack.Handle(a.LoadWord(par, victimDir))
+	t.smr.Retire(tid, victim)
+	t.smr.Retire(tid, par)
+	return true
+}
+
+// Insert adds key, reporting false if it is already present.
+func (t *Tree) Insert(tid int, key, val uint64) bool {
+	t.smr.Begin(tid)
+	defer t.smr.Clear(tid)
+	a := t.smr.Arena()
+	var sr seekRecord
+	var newLeaf, newInt mem.Handle
+	for {
+		t.seek(tid, key, &sr)
+		leafKey := a.Key(sr.leaf)
+		if leafKey == key {
+			if newLeaf != 0 {
+				a.Free(tid, newLeaf) // never published
+				a.Free(tid, newInt)
+			}
+			return false
+		}
+		if newLeaf == 0 {
+			newLeaf = t.smr.Alloc(tid)
+			a.SetKey(newLeaf, key)
+			a.SetVal(newLeaf, val)
+			a.StoreWord(newLeaf, isLeafWord, 1)
+			a.StoreWord(newLeaf, leftWord, 0)
+			a.StoreWord(newLeaf, rightWord, 0)
+			newInt = t.smr.Alloc(tid)
+			a.StoreWord(newInt, isLeafWord, 0)
+		}
+		// The new internal node routes between the new leaf and the old one.
+		if key < leafKey {
+			a.SetKey(newInt, leafKey)
+			a.StoreWord(newInt, leftWord, newLeaf)
+			a.StoreWord(newInt, rightWord, sr.leaf)
+		} else {
+			a.SetKey(newInt, key)
+			a.StoreWord(newInt, leftWord, sr.leaf)
+			a.StoreWord(newInt, rightWord, newLeaf)
+		}
+		if a.CASWord(sr.par, sr.leafDir, sr.leafEdge, newInt) {
+			return true
+		}
+		// Edge changed; if a deletion froze it, help before retrying.
+		if frozen(a.LoadWord(sr.par, sr.leafDir)) {
+			t.cleanup(tid, sr.anc, sr.par)
+		}
+	}
+}
+
+// Delete removes key, reporting whether it was present. The flag CAS on the
+// parent→leaf edge is the linearization point; the unlink may be completed
+// by any helper.
+func (t *Tree) Delete(tid int, key uint64) bool {
+	t.smr.Begin(tid)
+	defer t.smr.Clear(tid)
+	a := t.smr.Arena()
+	var sr seekRecord
+	// Injection phase.
+	var target mem.Handle
+	for {
+		t.seek(tid, key, &sr)
+		if a.Key(sr.leaf) != key {
+			return false
+		}
+		if a.CASWord(sr.par, sr.leafDir, sr.leafEdge, sr.leafEdge|flagBit) {
+			target = sr.leaf
+			break
+		}
+		// Someone is deleting here (maybe the same leaf); help and retry.
+		if frozen(a.LoadWord(sr.par, sr.leafDir)) {
+			t.cleanup(tid, sr.anc, sr.par)
+		}
+	}
+	// Cleanup phase: done when our flagged leaf is off the search path.
+	// (Handle equality can in principle confuse a recycled slot reinserted
+	// under the same key for our leaf; the only cost is a harmless extra
+	// helping round.)
+	for {
+		if t.cleanup(tid, sr.anc, sr.par) {
+			return true
+		}
+		t.seek(tid, key, &sr)
+		if sr.leaf != target || a.Key(sr.leaf) != key {
+			return true // a helper finished the unlink (and retired)
+		}
+	}
+}
+
+// Get returns the value stored under key.
+func (t *Tree) Get(tid int, key uint64) (uint64, bool) {
+	t.smr.Begin(tid)
+	defer t.smr.Clear(tid)
+	var sr seekRecord
+	t.seek(tid, key, &sr)
+	a := t.smr.Arena()
+	if a.Key(sr.leaf) != key {
+		return 0, false
+	}
+	return a.Val(sr.leaf), true
+}
+
+// Put inserts key, or replaces an existing key's leaf with a fresh one and
+// retires the old leaf — the paper benchmark's put semantics, keeping
+// read-mostly workloads on the reclamation path.
+func (t *Tree) Put(tid int, key, val uint64) {
+	for {
+		done, found := t.tryReplace(tid, key, val)
+		if done {
+			return
+		}
+		if !found && t.Insert(tid, key, val) {
+			return
+		}
+	}
+}
+
+// tryReplace swaps the key's leaf for a fresh one. found reports whether
+// the key was on the search path at all (directing Put to the insert path);
+// done reports whether the replacement landed.
+func (t *Tree) tryReplace(tid int, key, val uint64) (done, found bool) {
+	t.smr.Begin(tid)
+	defer t.smr.Clear(tid)
+	a := t.smr.Arena()
+	var sr seekRecord
+	t.seek(tid, key, &sr)
+	if a.Key(sr.leaf) != key {
+		return false, false
+	}
+	newLeaf := t.smr.Alloc(tid)
+	a.SetKey(newLeaf, key)
+	a.SetVal(newLeaf, val)
+	a.StoreWord(newLeaf, isLeafWord, 1)
+	a.StoreWord(newLeaf, leftWord, 0)
+	a.StoreWord(newLeaf, rightWord, 0)
+	if a.CASWord(sr.par, sr.leafDir, sr.leafEdge, newLeaf) {
+		t.smr.Retire(tid, sr.leaf)
+		return true, true
+	}
+	a.Free(tid, newLeaf) // never published
+	if frozen(a.LoadWord(sr.par, sr.leafDir)) {
+		t.cleanup(tid, sr.anc, sr.par)
+	}
+	return false, true
+}
+
+// Seed bulk-loads sorted deduplicated keys as a balanced subtree under S's
+// left edge in O(n); it must run before any concurrent use. The rightmost
+// leaf of the built subtree is the ∞1 sentinel, preserving the search
+// invariant for keys above the seeded range.
+func (t *Tree) Seed(tid int, keys []uint64) {
+	a := t.smr.Arena()
+	leaves := make([]mem.Handle, 0, len(keys)+1)
+	for _, k := range keys {
+		h := t.smr.Alloc(tid)
+		a.SetKey(h, k)
+		a.SetVal(h, k)
+		a.StoreWord(h, isLeafWord, 1)
+		a.StoreWord(h, leftWord, 0)
+		a.StoreWord(h, rightWord, 0)
+		leaves = append(leaves, h)
+	}
+	// Reuse the existing ∞1 sentinel leaf as the rightmost leaf.
+	leaves = append(leaves, pack.Handle(a.LoadWord(t.s, leftWord)))
+	a.StoreWord(t.s, leftWord, t.buildBalanced(tid, leaves))
+}
+
+// buildBalanced assembles sorted leaves into a balanced external subtree;
+// each internal node's key is the smallest key of its right subtree.
+func (t *Tree) buildBalanced(tid int, leaves []mem.Handle) mem.Handle {
+	if len(leaves) == 1 {
+		return leaves[0]
+	}
+	a := t.smr.Arena()
+	mid := len(leaves) / 2
+	n := t.smr.Alloc(tid)
+	a.SetKey(n, a.Key(leaves[mid]))
+	a.StoreWord(n, isLeafWord, 0)
+	a.StoreWord(n, leftWord, t.buildBalanced(tid, leaves[:mid]))
+	a.StoreWord(n, rightWord, t.buildBalanced(tid, leaves[mid:]))
+	return n
+}
+
+// Len counts real-key leaves; meaningful only quiescently.
+func (t *Tree) Len() int {
+	return t.countLeaves(t.root)
+}
+
+func (t *Tree) countLeaves(h mem.Handle) int {
+	a := t.smr.Arena()
+	if t.isLeaf(h) {
+		if a.Key(h) <= KeyMax {
+			return 1
+		}
+		return 0
+	}
+	n := 0
+	if l := pack.Handle(a.LoadWord(h, leftWord)); l != 0 {
+		n += t.countLeaves(l)
+	}
+	if r := pack.Handle(a.LoadWord(h, rightWord)); r != 0 {
+		n += t.countLeaves(r)
+	}
+	return n
+}
+
+// kv adapts Tree to ds.KV with keys as values.
+type kv struct{ t *Tree }
+
+// KV returns the benchmark adapter.
+func (t *Tree) KV() ds.KV { return kv{t} }
+
+func (k kv) Insert(tid int, key uint64) bool { return k.t.Insert(tid, key, key) }
+func (k kv) Delete(tid int, key uint64) bool { return k.t.Delete(tid, key) }
+func (k kv) Get(tid int, key uint64) bool    { _, ok := k.t.Get(tid, key); return ok }
+func (k kv) Put(tid int, key uint64)         { k.t.Put(tid, key, key) }
+
+func (k kv) Seed(tid int, keys []uint64) { k.t.Seed(tid, keys) }

@@ -1,0 +1,106 @@
+package bst_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"wfe/internal/ds"
+	"wfe/internal/ds/bst"
+	"wfe/internal/ds/dstest"
+	"wfe/internal/mem"
+	"wfe/internal/reclaim"
+	"wfe/internal/schemes"
+)
+
+func TestBSTSuite(t *testing.T) {
+	dstest.RunMapSuite(t, func(smr reclaim.Scheme) ds.KV {
+		return bst.New(smr).KV()
+	})
+}
+
+func newWFETree(t *testing.T) (*bst.Tree, reclaim.Scheme) {
+	t.Helper()
+	a := mem.New(mem.Config{Capacity: 1 << 14, MaxThreads: 2, Debug: true})
+	s, err := schemes.New("WFE", a, reclaim.Config{MaxThreads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bst.New(s), s
+}
+
+func TestBSTShapes(t *testing.T) {
+	tr, _ := newWFETree(t)
+	// Ascending, descending and zig-zag insertion orders must all work
+	// (external BSTs do not rebalance, but routing must stay correct).
+	keys := []uint64{50, 25, 75, 10, 30, 60, 90, 5, 15, 27, 35}
+	for _, k := range keys {
+		if !tr.Insert(0, k, k*10) {
+			t.Fatalf("insert %d failed", k)
+		}
+	}
+	if tr.Len() != len(keys) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(keys))
+	}
+	for _, k := range keys {
+		v, ok := tr.Get(0, k)
+		if !ok || v != k*10 {
+			t.Fatalf("Get(%d) = %d,%v", k, v, ok)
+		}
+	}
+	// Delete interior and leaf positions.
+	for _, k := range []uint64{25, 5, 90, 50} {
+		if !tr.Delete(0, k) {
+			t.Fatalf("delete %d failed", k)
+		}
+		if _, ok := tr.Get(0, k); ok {
+			t.Fatalf("key %d reachable after delete", k)
+		}
+	}
+	if tr.Len() != len(keys)-4 {
+		t.Fatalf("Len after deletes = %d", tr.Len())
+	}
+}
+
+func TestBSTDrainToEmpty(t *testing.T) {
+	tr, _ := newWFETree(t)
+	rng := rand.New(rand.NewSource(7))
+	keys := rng.Perm(200)
+	for _, k := range keys {
+		tr.Insert(0, uint64(k), uint64(k))
+	}
+	for _, k := range rng.Perm(200) {
+		if !tr.Delete(0, uint64(k)) {
+			t.Fatalf("delete %d failed", k)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("tree not empty: %d leaves", tr.Len())
+	}
+	// Reuse after a full drain.
+	for _, k := range []uint64{3, 1, 4, 1, 5} {
+		tr.Put(0, k, k)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len after refill = %d", tr.Len())
+	}
+}
+
+func TestBSTReclaimsNodes(t *testing.T) {
+	tr, s := newWFETree(t)
+	for i := 0; i < 2000; i++ {
+		tr.Insert(0, 42, 1)
+		tr.Delete(0, 42)
+	}
+	if inUse := s.Arena().Stats().InUse; inUse > 300 {
+		t.Fatalf("BST churn leaked: %d blocks in use", inUse)
+	}
+}
+
+func TestBSTValueRefresh(t *testing.T) {
+	tr, _ := newWFETree(t)
+	tr.Put(0, 9, 1)
+	tr.Put(0, 9, 2)
+	if v, ok := tr.Get(0, 9); !ok || v != 2 {
+		t.Fatalf("Get = %d,%v after refresh", v, ok)
+	}
+}

@@ -1,0 +1,30 @@
+// Package ds defines the abstract key-value interface the paper's benchmark
+// drives (insert / delete / get / put, §5) and hosts the concurrent data
+// structures implementing it, each written once against reclaim.Scheme so
+// every structure runs under every reclamation scheme.
+package ds
+
+// Seeder is implemented by structures that can bulk-load an initial
+// population faster than repeated Inserts; the benchmark prefill uses it
+// when available (a sequential 50K-element prefill of the sorted list would
+// otherwise be quadratic). Seed must be called before any concurrent use,
+// with deduplicated keys.
+type Seeder interface {
+	Seed(tid int, keys []uint64)
+}
+
+// KV is the benchmark-facing operation set. Keys double as values. For the
+// queues, Insert enqueues the key and Delete dequeues (the key argument is
+// ignored); Get and Put are unsupported, matching the paper's queue
+// workloads being write-only.
+type KV interface {
+	// Insert adds key; reports whether the structure changed.
+	Insert(tid int, key uint64) bool
+	// Delete removes key (or the head element, for queues); reports whether
+	// the structure changed.
+	Delete(tid int, key uint64) bool
+	// Get looks the key up.
+	Get(tid int, key uint64) bool
+	// Put inserts the key or refreshes its value.
+	Put(tid int, key uint64)
+}

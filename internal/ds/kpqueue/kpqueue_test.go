@@ -1,0 +1,61 @@
+package kpqueue_test
+
+import (
+	"testing"
+
+	"wfe/internal/ds/kpqueue"
+	"wfe/internal/ds/queuetest"
+	"wfe/internal/mem"
+	"wfe/internal/reclaim"
+	"wfe/internal/schemes"
+)
+
+func TestKPQueueSuite(t *testing.T) {
+	queuetest.RunQueueSuite(t, func(smr reclaim.Scheme, maxThreads int) queuetest.Queue {
+		return kpqueue.New(smr, maxThreads)
+	})
+}
+
+func TestKPQueueLen(t *testing.T) {
+	a := mem.New(mem.Config{Capacity: 1 << 10, MaxThreads: 1, Debug: true})
+	s, err := schemes.New("WFE", a, reclaim.Config{MaxThreads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := kpqueue.New(s, 1)
+	for i := uint64(0); i < 10; i++ {
+		q.Enqueue(0, i)
+	}
+	if q.Len() != 10 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	q.Dequeue(0)
+	if q.Len() != 9 {
+		t.Fatalf("Len after dequeue = %d", q.Len())
+	}
+}
+
+func TestKPQueueKVPanics(t *testing.T) {
+	a := mem.New(mem.Config{Capacity: 1 << 10, MaxThreads: 1, Debug: true})
+	s, _ := schemes.New("WFE", a, reclaim.Config{MaxThreads: 1})
+	kv := kpqueue.New(s, 1).KV()
+	if !kv.Insert(0, 5) {
+		t.Fatal("queue Insert (enqueue) reported false")
+	}
+	if !kv.Delete(0, 0) {
+		t.Fatal("queue Delete (dequeue) reported false on non-empty queue")
+	}
+	for _, f := range []func(){
+		func() { kv.Get(0, 1) },
+		func() { kv.Put(0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("Get/Put on a queue did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,234 @@
+// Package list implements the sorted lock-free linked list of Harris with
+// Michael's hazard-pointer-compatible modification (the paper's "Linked
+// List [18] (includes a modification from [27])"): traversal re-validates
+// each hop so that at most three outstanding reservations protect the
+// window (prev-node, current, next), which is what allows bounded
+// reservation schemes to manage it.
+//
+// Logical deletion sets the mark bit on the victim's next link; physical
+// unlinking happens at the deleter's CAS or during any later traversal.
+package list
+
+import (
+	"sync/atomic"
+
+	"wfe/internal/ds"
+	"wfe/internal/mem"
+	"wfe/internal/pack"
+	"wfe/internal/reclaim"
+)
+
+const nextWord = 0 // payload word holding the next link (with mark bit)
+
+// List is a sorted linked list (set / map) of uint64 keys.
+type List struct {
+	smr  reclaim.Scheme
+	head atomic.Uint64
+}
+
+// New creates an empty list managed by the given scheme.
+func New(smr reclaim.Scheme) *List {
+	l := &List{}
+	l.Init(smr)
+	return l
+}
+
+// Init prepares a zero-value List (used by the hash map, which embeds one
+// List per bucket).
+func (l *List) Init(smr reclaim.Scheme) { l.smr = smr }
+
+// window is the result of a traversal: the location holding the link to
+// cur, the node owning that location (0 for the list head), and the clean
+// link values of cur and its successor.
+type window struct {
+	prev  *atomic.Uint64
+	prevH mem.Handle
+	cur   uint64 // clean link; pack.Handle(cur) == 0 means end of list
+	next  uint64 // clean successor link of cur (valid when cur != 0)
+}
+
+// find positions the window at the first node with key >= key, unlinking
+// marked nodes it passes (Michael's find). Reservation indices 0..2 rotate
+// across the prev/cur/next roles.
+func (l *List) find(tid int, key uint64) (bool, window) {
+	a := l.smr.Arena()
+retry:
+	for {
+		prev := &l.head
+		var prevH mem.Handle
+		iCur, iNext := 1, 2
+		iPrev := 0
+		cur := l.smr.GetProtected(tid, prev, iCur, prevH)
+		for {
+			curH := pack.Handle(cur)
+			if curH == 0 {
+				return false, window{prev: prev, prevH: prevH, cur: cur}
+			}
+			next := l.smr.GetProtected(tid, a.WordAddr(curH, nextWord), iNext, curH)
+			if prev.Load() != cur {
+				continue retry // window moved under us
+			}
+			if pack.Marked(next) {
+				// cur is logically deleted: unlink it here.
+				clean := next &^ pack.MarkBit
+				if !prev.CompareAndSwap(cur, clean) {
+					continue retry
+				}
+				l.smr.Retire(tid, curH)
+				cur = clean
+				iCur, iNext = iNext, iCur
+				continue
+			}
+			ckey := a.Key(curH)
+			if ckey >= key {
+				return ckey == key, window{prev: prev, prevH: prevH, cur: cur, next: next}
+			}
+			prev = a.WordAddr(curH, nextWord)
+			prevH = curH
+			iPrev, iCur, iNext = iCur, iNext, iPrev
+			cur = next
+		}
+	}
+}
+
+// Insert adds key→val; it reports false (leaving the list unchanged) when
+// the key is already present.
+func (l *List) Insert(tid int, key, val uint64) bool {
+	l.smr.Begin(tid)
+	defer l.smr.Clear(tid)
+	a := l.smr.Arena()
+	var h mem.Handle
+	for {
+		found, w := l.find(tid, key)
+		if found {
+			if h != 0 {
+				a.Free(tid, h) // never published: no reader can hold it
+			}
+			return false
+		}
+		if h == 0 {
+			h = l.smr.Alloc(tid)
+			a.SetKey(h, key)
+			a.SetVal(h, val)
+		}
+		a.StoreWord(h, nextWord, w.cur)
+		if w.prev.CompareAndSwap(w.cur, h) {
+			return true
+		}
+	}
+}
+
+// Delete removes key, reporting whether it was present. The victim is
+// marked first (the linearization point) and unlinked here or by a later
+// traversal.
+func (l *List) Delete(tid int, key uint64) bool {
+	l.smr.Begin(tid)
+	defer l.smr.Clear(tid)
+	a := l.smr.Arena()
+	for {
+		found, w := l.find(tid, key)
+		if !found {
+			return false
+		}
+		curH := pack.Handle(w.cur)
+		if !a.CASWord(curH, nextWord, w.next, w.next|pack.MarkBit) {
+			continue // successor changed or someone else marked it
+		}
+		if w.prev.CompareAndSwap(w.cur, w.next) {
+			l.smr.Retire(tid, curH)
+		}
+		return true
+	}
+}
+
+// Get returns the value stored under key.
+func (l *List) Get(tid int, key uint64) (uint64, bool) {
+	l.smr.Begin(tid)
+	defer l.smr.Clear(tid)
+	found, w := l.find(tid, key)
+	if !found {
+		return 0, false
+	}
+	return l.smr.Arena().Val(pack.Handle(w.cur)), true
+}
+
+// Put inserts key→val, or replaces an existing key's node with a fresh one
+// (mark, swing, retire) — the paper benchmark's put semantics, which is why
+// read-mostly workloads still exercise reclamation.
+func (l *List) Put(tid int, key, val uint64) {
+	l.smr.Begin(tid)
+	defer l.smr.Clear(tid)
+	a := l.smr.Arena()
+	var h mem.Handle
+	for {
+		found, w := l.find(tid, key)
+		if h == 0 {
+			h = l.smr.Alloc(tid)
+			a.SetKey(h, key)
+			a.SetVal(h, val)
+		}
+		if found {
+			curH := pack.Handle(w.cur)
+			// Logically delete the old node, then swing prev to the
+			// replacement in its place.
+			if !a.CASWord(curH, nextWord, w.next, w.next|pack.MarkBit) {
+				continue
+			}
+			a.StoreWord(h, nextWord, w.next)
+			if w.prev.CompareAndSwap(w.cur, h) {
+				l.smr.Retire(tid, curH)
+				return
+			}
+			// A traversal unlinked (and retired) the marked node first;
+			// retry — the next find will take the insert path.
+			continue
+		}
+		a.StoreWord(h, nextWord, w.cur)
+		if w.prev.CompareAndSwap(w.cur, h) {
+			return
+		}
+	}
+}
+
+// Len counts reachable, unmarked nodes; meaningful only quiescently.
+func (l *List) Len() int {
+	a := l.smr.Arena()
+	n := 0
+	for h := pack.Handle(l.head.Load()); h != 0; {
+		next := a.LoadWord(h, nextWord)
+		if !pack.Marked(next) {
+			n++
+		}
+		h = pack.Handle(next)
+	}
+	return n
+}
+
+// Seed bulk-loads sorted deduplicated keys in O(n) by chaining nodes
+// directly; it must run before any concurrent use. Keys are their own
+// values, matching the benchmark adapter.
+func (l *List) Seed(tid int, keys []uint64) {
+	a := l.smr.Arena()
+	var next mem.Handle
+	for i := len(keys) - 1; i >= 0; i-- {
+		h := l.smr.Alloc(tid)
+		a.SetKey(h, keys[i])
+		a.SetVal(h, keys[i])
+		a.StoreWord(h, nextWord, next)
+		next = h
+	}
+	l.head.Store(next)
+}
+
+// kv adapts List to the benchmark's ds.KV interface, with keys as values.
+type kv struct{ l *List }
+
+// KV returns the benchmark adapter.
+func (l *List) KV() ds.KV { return kv{l} }
+
+func (k kv) Insert(tid int, key uint64) bool { return k.l.Insert(tid, key, key) }
+func (k kv) Delete(tid int, key uint64) bool { return k.l.Delete(tid, key) }
+func (k kv) Get(tid int, key uint64) bool    { _, ok := k.l.Get(tid, key); return ok }
+func (k kv) Put(tid int, key uint64)         { k.l.Put(tid, key, key) }
+
+func (k kv) Seed(tid int, keys []uint64) { k.l.Seed(tid, keys) }

@@ -1,0 +1,134 @@
+// Package msqueue implements the Michael–Scott lock-free queue — not one of
+// the paper's benchmarked structures, but the natural lock-free baseline
+// for its two wait-free queues (Kogan–Petrank is literally the MS queue
+// plus phase-based helping). cmd/wfelat uses it to show what wait-freedom
+// buys: MS has higher throughput but unbounded per-operation worst cases;
+// KP/CRTurn bound every operation.
+package msqueue
+
+import (
+	"sync/atomic"
+
+	"wfe/internal/ds"
+	"wfe/internal/pack"
+	"wfe/internal/reclaim"
+)
+
+const nextWord = 0
+
+// reservation indices
+const (
+	hpFirst = 0
+	hpNext  = 1
+	hpLast  = 0 // enqueue reuses index 0 for the tail
+)
+
+// Queue is a lock-free MPMC FIFO queue.
+type Queue struct {
+	smr  reclaim.Scheme
+	head atomic.Uint64
+	tail atomic.Uint64
+}
+
+// New creates an empty queue; the sentinel is allocated for thread 0.
+func New(smr reclaim.Scheme) *Queue {
+	q := &Queue{smr: smr}
+	s := smr.Alloc(0)
+	smr.Arena().StoreWord(s, nextWord, 0)
+	q.head.Store(s)
+	q.tail.Store(s)
+	return q
+}
+
+// Enqueue appends v.
+func (q *Queue) Enqueue(tid int, v uint64) {
+	q.smr.Begin(tid)
+	defer q.smr.Clear(tid)
+	a := q.smr.Arena()
+	node := q.smr.Alloc(tid)
+	a.SetVal(node, v)
+	a.StoreWord(node, nextWord, 0)
+	for {
+		last := pack.Handle(q.smr.GetProtected(tid, &q.tail, hpLast, 0))
+		next := pack.Handle(a.LoadWord(last, nextWord))
+		if last != pack.Handle(q.tail.Load()) {
+			continue
+		}
+		if next != 0 { // tail lagging: help advance
+			q.tail.CompareAndSwap(last, next)
+			continue
+		}
+		if a.CASWord(last, nextWord, 0, node) {
+			q.tail.CompareAndSwap(last, node)
+			return
+		}
+	}
+}
+
+// Dequeue removes and returns the oldest value; ok is false when empty.
+func (q *Queue) Dequeue(tid int) (v uint64, ok bool) {
+	q.smr.Begin(tid)
+	defer q.smr.Clear(tid)
+	a := q.smr.Arena()
+	for {
+		first := pack.Handle(q.smr.GetProtected(tid, &q.head, hpFirst, 0))
+		last := pack.Handle(q.tail.Load())
+		next := pack.Handle(q.smr.GetProtected(tid, a.WordAddr(first, nextWord), hpNext, first))
+		if first != pack.Handle(q.head.Load()) {
+			continue
+		}
+		if first == last {
+			if next == 0 {
+				return 0, false
+			}
+			q.tail.CompareAndSwap(last, next) // tail lagging
+			continue
+		}
+		if next == 0 {
+			continue // stale snapshot
+		}
+		// Read the value before unlinking: next is still in the queue
+		// (reachable from head), so it is not retired and our reservation
+		// covers it.
+		v = a.Val(next)
+		if q.head.CompareAndSwap(first, next) {
+			q.smr.Retire(tid, first)
+			return v, true
+		}
+	}
+}
+
+// Len counts queued values; meaningful only quiescently.
+func (q *Queue) Len() int {
+	a := q.smr.Arena()
+	n := 0
+	h := pack.Handle(q.head.Load())
+	for h != 0 {
+		next := pack.Handle(a.LoadWord(h, nextWord))
+		if next != 0 {
+			n++
+		}
+		h = next
+	}
+	return n
+}
+
+// Seed pre-populates the queue.
+func (q *Queue) Seed(tid int, keys []uint64) {
+	for _, k := range keys {
+		q.Enqueue(tid, k)
+	}
+}
+
+// kv adapts the queue to ds.KV: Insert enqueues the key, Delete dequeues.
+type kv struct{ q *Queue }
+
+// KV returns the benchmark adapter. Get and Put panic: queue workloads are
+// insert/delete only.
+func (q *Queue) KV() ds.KV { return kv{q} }
+
+func (k kv) Insert(tid int, key uint64) bool { k.q.Enqueue(tid, key); return true }
+func (k kv) Delete(tid int, key uint64) bool { _, ok := k.q.Dequeue(tid); return ok }
+func (k kv) Get(tid int, key uint64) bool    { panic("msqueue: Get unsupported on queues") }
+func (k kv) Put(tid int, key uint64)         { panic("msqueue: Put unsupported on queues") }
+func (k kv) Seed(tid int, keys []uint64)     { k.q.Seed(tid, keys) }

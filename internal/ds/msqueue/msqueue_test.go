@@ -1,0 +1,55 @@
+package msqueue_test
+
+import (
+	"testing"
+
+	"wfe/internal/ds/msqueue"
+	"wfe/internal/ds/queuetest"
+	"wfe/internal/mem"
+	"wfe/internal/reclaim"
+	"wfe/internal/schemes"
+)
+
+func TestMSQueueSuite(t *testing.T) {
+	queuetest.RunQueueSuite(t, func(smr reclaim.Scheme, maxThreads int) queuetest.Queue {
+		return msqueue.New(smr)
+	})
+}
+
+func TestMSQueueLenSeedAndKV(t *testing.T) {
+	a := mem.New(mem.Config{Capacity: 1 << 10, MaxThreads: 1, Debug: true})
+	s, err := schemes.New("WFE", a, reclaim.Config{MaxThreads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := msqueue.New(s)
+	q.Seed(0, []uint64{1, 2, 3})
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	kv := q.KV()
+	if !kv.Insert(0, 4) {
+		t.Fatal("Insert (enqueue) reported false")
+	}
+	for want := uint64(1); want <= 4; want++ {
+		if !kv.Delete(0, 0) {
+			t.Fatalf("Delete (dequeue) failed at %d", want)
+		}
+	}
+	if kv.Delete(0, 0) {
+		t.Fatal("dequeue on empty succeeded")
+	}
+	for _, f := range []func(){
+		func() { kv.Get(0, 1) },
+		func() { kv.Put(0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("Get/Put on a queue did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,71 @@
+// Package stack implements Treiber's lock-free stack, the paper's usage
+// example for the reclamation API (Figure 2): push allocates through the
+// scheme so the block's alloc era is stamped; pop protects the top node
+// before dereferencing it and retires it after unlinking.
+package stack
+
+import (
+	"sync/atomic"
+
+	"wfe/internal/pack"
+	"wfe/internal/reclaim"
+)
+
+const nextWord = 0 // payload word holding the next link
+
+// Stack is a Treiber stack of uint64 values.
+type Stack struct {
+	smr reclaim.Scheme
+	top atomic.Uint64
+}
+
+// New creates an empty stack managed by the given scheme.
+func New(smr reclaim.Scheme) *Stack {
+	return &Stack{smr: smr}
+}
+
+// Push adds v to the top of the stack.
+func (s *Stack) Push(tid int, v uint64) {
+	s.smr.Begin(tid)
+	h := s.smr.Alloc(tid)
+	a := s.smr.Arena()
+	a.SetVal(h, v)
+	for {
+		old := s.top.Load()
+		a.StoreWord(h, nextWord, old)
+		if s.top.CompareAndSwap(old, h) {
+			break
+		}
+	}
+	s.smr.Clear(tid)
+}
+
+// Pop removes and returns the top value; ok is false on an empty stack.
+func (s *Stack) Pop(tid int) (v uint64, ok bool) {
+	s.smr.Begin(tid)
+	defer s.smr.Clear(tid)
+	a := s.smr.Arena()
+	for {
+		link := s.smr.GetProtected(tid, &s.top, 0, 0)
+		h := pack.Handle(link)
+		if h == 0 {
+			return 0, false
+		}
+		next := a.LoadWord(h, nextWord)
+		if s.top.CompareAndSwap(link, next) {
+			v = a.Val(h)
+			s.smr.Retire(tid, h)
+			return v, true
+		}
+	}
+}
+
+// Len counts the nodes; it is only meaningful quiescently.
+func (s *Stack) Len() int {
+	a := s.smr.Arena()
+	n := 0
+	for h := pack.Handle(s.top.Load()); h != 0; h = pack.Handle(a.LoadWord(h, nextWord)) {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,114 @@
+package stack_test
+
+import (
+	"sync"
+	"testing"
+
+	"wfe/internal/ds/stack"
+	"wfe/internal/mem"
+	"wfe/internal/reclaim"
+	"wfe/internal/schemes"
+)
+
+var allSchemes = []string{"WFE", "WFE-slow", "HE", "HP", "EBR", "2GEIBR", "WFE-IBR", "Leak"}
+
+func newStack(t *testing.T, name string, threads, capacity int) (*stack.Stack, reclaim.Scheme) {
+	t.Helper()
+	a := mem.New(mem.Config{Capacity: capacity, MaxThreads: threads, Debug: true})
+	s, err := schemes.New(name, a, reclaim.Config{MaxThreads: threads, EraFreq: 16, CleanupFreq: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stack.New(s), s
+}
+
+func TestLIFO(t *testing.T) {
+	for _, name := range allSchemes {
+		t.Run(name, func(t *testing.T) {
+			st, _ := newStack(t, name, 1, 1<<12)
+			if _, ok := st.Pop(0); ok {
+				t.Fatal("pop from empty stack succeeded")
+			}
+			for v := uint64(1); v <= 100; v++ {
+				st.Push(0, v)
+			}
+			if st.Len() != 100 {
+				t.Fatalf("Len = %d", st.Len())
+			}
+			for v := uint64(100); v >= 1; v-- {
+				got, ok := st.Pop(0)
+				if !ok || got != v {
+					t.Fatalf("Pop = %d,%v; want %d", got, ok, v)
+				}
+			}
+			if _, ok := st.Pop(0); ok {
+				t.Fatal("drained stack not empty")
+			}
+		})
+	}
+}
+
+// TestConservation pushes disjoint value ranges from every worker while
+// popping concurrently; afterwards every pushed value must have been popped
+// exactly once or remain on the stack.
+func TestConservation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	const (
+		workers   = 4
+		perWorker = 10000
+	)
+	for _, name := range allSchemes {
+		t.Run(name, func(t *testing.T) {
+			capacity := 1 << 17
+			if name == "Leak" {
+				capacity = workers*perWorker + 1024
+			}
+			st, smr := newStack(t, name, workers, capacity)
+			popped := make([][]uint64, workers)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					base := uint64(tid) * perWorker
+					for i := 0; i < perWorker; i++ {
+						st.Push(tid, base+uint64(i)+1)
+						if i%2 == 0 {
+							if v, ok := st.Pop(tid); ok {
+								popped[tid] = append(popped[tid], v)
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+
+			seen := make(map[uint64]int)
+			for _, vs := range popped {
+				for _, v := range vs {
+					seen[v]++
+				}
+			}
+			for {
+				v, ok := st.Pop(0)
+				if !ok {
+					break
+				}
+				seen[v]++
+			}
+			if len(seen) != workers*perWorker {
+				t.Fatalf("%s: %d distinct values accounted for, want %d", name, len(seen), workers*perWorker)
+			}
+			for v, n := range seen {
+				if n != 1 {
+					t.Fatalf("%s: value %d observed %d times", name, v, n)
+				}
+			}
+			if name != "Leak" && smr.Unreclaimed() > 10000 {
+				t.Fatalf("%s: unreclaimed backlog %d too large", name, smr.Unreclaimed())
+			}
+		})
+	}
+}

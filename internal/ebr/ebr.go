@@ -1,0 +1,152 @@
+// Package ebr implements epoch-based reclamation (Fraser 2004): threads
+// announce the global epoch on operation start; a retired block is freed two
+// epochs after its retirement epoch, and the epoch only advances when every
+// active thread has announced the current one. Reads are free of per-access
+// overhead — the scheme the paper reports as fastest — but reclamation is
+// blocking: one stalled active thread halts the epoch and memory grows
+// without bound (the paper's motivation for bounded schemes; ablation A4
+// reproduces this failure mode).
+package ebr
+
+import (
+	"sync/atomic"
+
+	"wfe/internal/mem"
+	"wfe/internal/reclaim"
+)
+
+// announcement encoding: epoch<<1 | active.
+const activeBit = 1
+
+type retiredBlock struct {
+	h     mem.Handle
+	epoch uint64
+}
+
+type threadState struct {
+	allocCount  uint64
+	retireCount uint64
+	retired     []retiredBlock
+	retiredLen  atomic.Int64
+	_           [64]byte
+}
+
+// EBR is the epoch-based reclamation scheme.
+type EBR struct {
+	arena       *mem.Arena
+	cfg         reclaim.Config
+	globalEpoch atomic.Uint64
+	announce    []atomic.Uint64 // one padded word per thread
+	stride      int
+	threads     []threadState
+}
+
+var _ reclaim.Scheme = (*EBR)(nil)
+
+// New creates an EBR scheme over the given arena.
+func New(arena *mem.Arena, cfg reclaim.Config) *EBR {
+	cfg = cfg.Defaults()
+	const stride = 8
+	e := &EBR{
+		arena:    arena,
+		cfg:      cfg,
+		announce: make([]atomic.Uint64, cfg.MaxThreads*stride),
+		stride:   stride,
+		threads:  make([]threadState, cfg.MaxThreads),
+	}
+	e.globalEpoch.Store(2)
+	return e
+}
+
+// Name implements reclaim.Scheme.
+func (e *EBR) Name() string { return "EBR" }
+
+// Arena implements reclaim.Scheme.
+func (e *EBR) Arena() *mem.Arena { return e.arena }
+
+// Epoch returns the global epoch.
+func (e *EBR) Epoch() uint64 { return e.globalEpoch.Load() }
+
+func (e *EBR) ann(tid int) *atomic.Uint64 { return &e.announce[tid*e.stride] }
+
+// Begin announces the current epoch and marks the thread active.
+func (e *EBR) Begin(tid int) {
+	e.ann(tid).Store(e.globalEpoch.Load()<<1 | activeBit)
+}
+
+// GetProtected under EBR is a plain load: the epoch announcement already
+// protects everything reachable during the operation.
+func (e *EBR) GetProtected(tid int, src *atomic.Uint64, index int, parent mem.Handle) uint64 {
+	return src.Load()
+}
+
+// Clear marks the thread quiescent.
+func (e *EBR) Clear(tid int) {
+	e.ann(tid).Store(0)
+}
+
+// Alloc allocates a block; epochs need no allocation stamp, but the epoch
+// advance attempt keeps the clock moving on allocation-heavy phases, in line
+// with the benchmark's ν parameter.
+func (e *EBR) Alloc(tid int) mem.Handle {
+	t := &e.threads[tid]
+	if t.allocCount%uint64(e.cfg.EraFreq) == 0 {
+		e.tryAdvance()
+	}
+	t.allocCount++
+	return e.arena.Alloc(tid)
+}
+
+// Retire tags the block with the current epoch and periodically scans.
+func (e *EBR) Retire(tid int, blk mem.Handle) {
+	ep := e.globalEpoch.Load()
+	e.arena.SetRetireEra(blk, ep)
+	t := &e.threads[tid]
+	t.retired = append(t.retired, retiredBlock{blk, ep})
+	t.retiredLen.Store(int64(len(t.retired)))
+	if t.retireCount%uint64(e.cfg.CleanupFreq) == 0 {
+		e.tryAdvance()
+		e.cleanup(tid)
+	}
+	t.retireCount++
+}
+
+// tryAdvance bumps the global epoch iff every active thread has announced
+// it. This is the blocking step: a stalled active announcement pins the
+// epoch forever.
+func (e *EBR) tryAdvance() {
+	cur := e.globalEpoch.Load()
+	for i := 0; i < e.cfg.MaxThreads; i++ {
+		a := e.ann(i).Load()
+		if a&activeBit != 0 && a>>1 != cur {
+			return
+		}
+	}
+	e.globalEpoch.CompareAndSwap(cur, cur+1)
+}
+
+// cleanup frees blocks retired at least two epochs ago: no thread active in
+// the current or previous epoch can hold them.
+func (e *EBR) cleanup(tid int) {
+	cur := e.globalEpoch.Load()
+	t := &e.threads[tid]
+	keep := t.retired[:0]
+	for _, rb := range t.retired {
+		if rb.epoch+2 <= cur {
+			e.arena.Free(tid, rb.h)
+		} else {
+			keep = append(keep, rb)
+		}
+	}
+	t.retired = keep
+	t.retiredLen.Store(int64(len(keep)))
+}
+
+// Unreclaimed implements reclaim.Scheme.
+func (e *EBR) Unreclaimed() int {
+	total := 0
+	for i := range e.threads {
+		total += int(e.threads[i].retiredLen.Load())
+	}
+	return total
+}

@@ -1,0 +1,211 @@
+// Package he implements Hazard Eras (Ramalhete & Correia, SPAA 2017), the
+// lock-free scheme WFE extends, exactly as reproduced in the paper's
+// Figure 1 — including the retire() race fix the paper mentions applying
+// (re-reading the global era before deciding to advance it).
+package he
+
+import (
+	"sync/atomic"
+
+	"wfe/internal/mem"
+	"wfe/internal/pack"
+	"wfe/internal/reclaim"
+)
+
+type threadState struct {
+	allocCount  uint64
+	retireCount uint64
+	// dirty is one past the highest reservation index used since the last
+	// Clear.
+	dirty   int
+	retired reclaim.RetireList
+	scratch []uint64 // reusable gathered-era buffer
+	// maxSteps is the largest number of protect-loop iterations any single
+	// GetProtected call by this thread has needed — the unboundedness the
+	// paper's contribution removes, observable.
+	maxSteps uint64
+	_        [64]byte
+}
+
+// HE is the Hazard Eras scheme.
+type HE struct {
+	arena     *mem.Arena
+	cfg       reclaim.Config
+	globalEra atomic.Uint64
+
+	reservations []atomic.Uint64 // row-major [MaxThreads][MaxHEs] eras
+	rowStride    int
+	threads      []threadState
+}
+
+var _ reclaim.Scheme = (*HE)(nil)
+
+// New creates a Hazard Eras scheme over the given arena.
+func New(arena *mem.Arena, cfg reclaim.Config) *HE {
+	cfg = cfg.Defaults()
+	stride := (cfg.MaxHEs + 7) &^ 7
+	h := &HE{
+		arena:        arena,
+		cfg:          cfg,
+		reservations: make([]atomic.Uint64, cfg.MaxThreads*stride),
+		rowStride:    stride,
+		threads:      make([]threadState, cfg.MaxThreads),
+	}
+	h.globalEra.Store(1)
+	for i := range h.reservations {
+		h.reservations[i].Store(pack.Inf)
+	}
+	return h
+}
+
+// Name implements reclaim.Scheme.
+func (h *HE) Name() string { return "HE" }
+
+// Begin implements reclaim.Scheme; Hazard Eras needs no prologue.
+func (h *HE) Begin(tid int) {}
+
+// Arena implements reclaim.Scheme.
+func (h *HE) Arena() *mem.Arena { return h.arena }
+
+// Era returns the current global era clock value.
+func (h *HE) Era() uint64 { return h.globalEra.Load() }
+
+func (h *HE) resv(tid, j int) *atomic.Uint64 {
+	return &h.reservations[tid*h.rowStride+j]
+}
+
+// GetProtected is the paper's Figure 1 loop: publish the era observed while
+// reading until the global era stops moving. Lock-free, not wait-free —
+// this is precisely the loop WFE bounds.
+func (h *HE) GetProtected(tid int, src *atomic.Uint64, index int, parent mem.Handle) uint64 {
+	t := &h.threads[tid]
+	if index >= t.dirty {
+		t.dirty = index + 1
+	}
+	r := h.resv(tid, index)
+	prevEra := r.Load()
+	for steps := uint64(1); ; steps++ {
+		ret := src.Load()
+		newEra := h.globalEra.Load()
+		if prevEra == newEra {
+			if steps > t.maxSteps {
+				t.maxSteps = steps
+			}
+			return ret
+		}
+		r.Store(newEra)
+		prevEra = newEra
+	}
+}
+
+// MaxSteps reports the worst protect-loop iteration count observed by any
+// thread for a single GetProtected call.
+func (h *HE) MaxSteps() uint64 {
+	var max uint64
+	for i := range h.threads {
+		if n := h.threads[i].maxSteps; n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// Alloc implements the paper's alloc_block.
+func (h *HE) Alloc(tid int) mem.Handle {
+	t := &h.threads[tid]
+	if t.allocCount%uint64(h.cfg.EraFreq) == 0 {
+		h.advanceEra()
+	}
+	t.allocCount++
+	blk := h.arena.Alloc(tid)
+	h.arena.SetAllocEra(blk, h.globalEra.Load())
+	return blk
+}
+
+// Retire implements the paper's retire, with the race fix: the era is only
+// advanced if the block's retire era still equals the global era.
+func (h *HE) Retire(tid int, blk mem.Handle) {
+	h.arena.SetRetireEra(blk, h.globalEra.Load())
+	t := &h.threads[tid]
+	t.retired.Append(blk)
+	if t.retireCount%uint64(h.cfg.CleanupFreq) == 0 {
+		if h.arena.RetireEra(blk) == h.globalEra.Load() {
+			h.advanceEra()
+		}
+		h.cleanup(tid)
+	}
+	t.retireCount++
+}
+
+// advanceEra bumps the clock, guarding the 38-bit packing bound.
+func (h *HE) advanceEra() {
+	if h.globalEra.Add(1) >= pack.MaxEra {
+		panic("he: era clock exhausted (2^38 increments); see pack's width accounting")
+	}
+}
+
+// Clear implements the paper's clear; only indices used since the previous
+// Clear need resetting.
+func (h *HE) Clear(tid int) {
+	t := &h.threads[tid]
+	for j := 0; j < t.dirty; j++ {
+		r := h.resv(tid, j)
+		if r.Load() != pack.Inf {
+			r.Store(pack.Inf)
+		}
+	}
+	t.dirty = 0
+}
+
+// cleanup gathers the published eras once and frees every retired block
+// whose lifespan none of them covers. The snapshot can only keep more
+// blocks than Figure 1's per-block re-scan (a reservation cleared mid-scan
+// is still honoured); a reservation published after the snapshot cannot
+// protect an already-retired block, by the same argument that makes the
+// per-block scan sound.
+func (h *HE) cleanup(tid int) {
+	t := &h.threads[tid]
+	blocks := t.retired.Blocks
+	if len(blocks) == 0 {
+		return
+	}
+	eras := t.scratch[:0]
+	for i := 0; i < h.cfg.MaxThreads; i++ {
+		for j := 0; j < h.cfg.MaxHEs; j++ {
+			if era := h.resv(i, j).Load(); era != pack.Inf {
+				eras = append(eras, era)
+			}
+		}
+	}
+	t.scratch = eras
+
+	keep := blocks[:0]
+	for _, blk := range blocks {
+		if h.canDelete(blk, eras) {
+			h.arena.Free(tid, blk)
+		} else {
+			keep = append(keep, blk)
+		}
+	}
+	t.retired.SetBlocks(keep)
+}
+
+func (h *HE) canDelete(blk mem.Handle, eras []uint64) bool {
+	allocEra := h.arena.AllocEra(blk)
+	retireEra := h.arena.RetireEra(blk)
+	for _, era := range eras {
+		if allocEra <= era && retireEra >= era {
+			return false
+		}
+	}
+	return true
+}
+
+// Unreclaimed implements reclaim.Scheme.
+func (h *HE) Unreclaimed() int {
+	total := 0
+	for i := range h.threads {
+		total += h.threads[i].retired.Len()
+	}
+	return total
+}

@@ -1,0 +1,147 @@
+// Package hp implements classical Hazard Pointers (Michael, TPDS 2004): a
+// thread publishes the handle it is about to dereference and re-validates
+// that the source location still holds it. Reclamation scans gather all
+// published handles and free retired blocks not among them.
+//
+// Reservations here hold link values with mark bits stripped: protection is
+// per block, independent of the logical-deletion bits a link may carry.
+package hp
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"wfe/internal/mem"
+	"wfe/internal/pack"
+	"wfe/internal/reclaim"
+)
+
+type threadState struct {
+	retireCount uint64
+	// dirty is one past the highest hazard index used since the last Clear.
+	dirty   int
+	retired reclaim.RetireList
+	scratch []mem.Handle // reusable scan buffer
+	_       [64]byte
+}
+
+// HP is the Hazard Pointers scheme.
+type HP struct {
+	arena *mem.Arena
+	cfg   reclaim.Config
+
+	hazards   []atomic.Uint64 // row-major [MaxThreads][MaxHEs] handles; 0 = none
+	rowStride int
+	threads   []threadState
+}
+
+var _ reclaim.Scheme = (*HP)(nil)
+
+// New creates a Hazard Pointers scheme over the given arena.
+func New(arena *mem.Arena, cfg reclaim.Config) *HP {
+	cfg = cfg.Defaults()
+	stride := (cfg.MaxHEs + 7) &^ 7
+	return &HP{
+		arena:     arena,
+		cfg:       cfg,
+		hazards:   make([]atomic.Uint64, cfg.MaxThreads*stride),
+		rowStride: stride,
+		threads:   make([]threadState, cfg.MaxThreads),
+	}
+}
+
+// Name implements reclaim.Scheme.
+func (h *HP) Name() string { return "HP" }
+
+// Begin implements reclaim.Scheme; Hazard Pointers needs no prologue.
+func (h *HP) Begin(tid int) {}
+
+// Arena implements reclaim.Scheme.
+func (h *HP) Arena() *mem.Arena { return h.arena }
+
+func (h *HP) hazard(tid, j int) *atomic.Uint64 {
+	return &h.hazards[tid*h.rowStride+j]
+}
+
+// GetProtected publishes the handle read from src and re-reads src to
+// validate the publication (the classical protect loop; lock-free).
+func (h *HP) GetProtected(tid int, src *atomic.Uint64, index int, parent mem.Handle) uint64 {
+	if t := &h.threads[tid]; index >= t.dirty {
+		t.dirty = index + 1
+	}
+	hz := h.hazard(tid, index)
+	v := src.Load()
+	for {
+		hz.Store(pack.Handle(v))
+		again := src.Load()
+		if again == v {
+			return v
+		}
+		v = again
+	}
+}
+
+// Alloc stamps no era: Hazard Pointers tracks identities, not lifespans.
+func (h *HP) Alloc(tid int) mem.Handle {
+	return h.arena.Alloc(tid)
+}
+
+// Retire adds the block to the thread's retire list and periodically scans.
+func (h *HP) Retire(tid int, blk mem.Handle) {
+	h.arena.SetRetireEra(blk, 0)
+	t := &h.threads[tid]
+	t.retired.Append(blk)
+	if t.retireCount%uint64(h.cfg.CleanupFreq) == 0 {
+		h.cleanup(tid)
+	}
+	t.retireCount++
+}
+
+// Clear resets the hazard slots used since the previous Clear.
+func (h *HP) Clear(tid int) {
+	t := &h.threads[tid]
+	for j := 0; j < t.dirty; j++ {
+		hz := h.hazard(tid, j)
+		if hz.Load() != 0 {
+			hz.Store(0)
+		}
+	}
+	t.dirty = 0
+}
+
+// cleanup is Michael's scan: snapshot all hazards into a sorted slice, then
+// free every retired block not present in it.
+func (h *HP) cleanup(tid int) {
+	t := &h.threads[tid]
+	protected := t.scratch[:0]
+	for i := 0; i < h.cfg.MaxThreads; i++ {
+		for j := 0; j < h.cfg.MaxHEs; j++ {
+			if v := h.hazard(i, j).Load(); v != 0 {
+				protected = append(protected, v)
+			}
+		}
+	}
+	t.scratch = protected
+	sort.Slice(protected, func(a, b int) bool { return protected[a] < protected[b] })
+
+	blocks := t.retired.Blocks
+	keep := blocks[:0]
+	for _, blk := range blocks {
+		i := sort.Search(len(protected), func(k int) bool { return protected[k] >= blk })
+		if i < len(protected) && protected[i] == blk {
+			keep = append(keep, blk)
+		} else {
+			h.arena.Free(tid, blk)
+		}
+	}
+	t.retired.SetBlocks(keep)
+}
+
+// Unreclaimed implements reclaim.Scheme.
+func (h *HP) Unreclaimed() int {
+	total := 0
+	for i := range h.threads {
+		total += h.threads[i].retired.Len()
+	}
+	return total
+}

@@ -1,0 +1,190 @@
+// Package ibr implements 2GEIBR, the tagged-pointer-free variant of
+// interval-based reclamation (Wen et al., PPoPP 2018) the paper benchmarks
+// against. Every block carries a birth era and a retire era; every thread
+// maintains one reservation interval [lower, upper] spanning its current
+// operation. A retired block is freed when its lifespan interval overlaps no
+// thread's reservation interval.
+//
+// Like Hazard Eras, the upper-bound refresh loop in GetProtected is
+// lock-free, not wait-free; the paper notes WFE's construction applies to
+// 2GEIBR as well.
+package ibr
+
+import (
+	"sync/atomic"
+
+	"wfe/internal/mem"
+	"wfe/internal/pack"
+	"wfe/internal/reclaim"
+)
+
+type threadState struct {
+	allocCount  uint64
+	retireCount uint64
+	retired     reclaim.RetireList
+	scratch     []uint64 // reusable gathered-interval buffer (lo,hi pairs)
+	_           [64]byte
+}
+
+// interval is one thread's padded reservation [lower, upper].
+type interval struct {
+	lower atomic.Uint64
+	upper atomic.Uint64
+	_     [48]byte
+}
+
+// IBR is the 2GEIBR scheme.
+type IBR struct {
+	arena     *mem.Arena
+	cfg       reclaim.Config
+	globalEra atomic.Uint64
+	intervals []interval
+	threads   []threadState
+}
+
+var _ reclaim.Scheme = (*IBR)(nil)
+
+// New creates a 2GEIBR scheme over the given arena.
+func New(arena *mem.Arena, cfg reclaim.Config) *IBR {
+	cfg = cfg.Defaults()
+	ib := &IBR{
+		arena:     arena,
+		cfg:       cfg,
+		intervals: make([]interval, cfg.MaxThreads),
+		threads:   make([]threadState, cfg.MaxThreads),
+	}
+	ib.globalEra.Store(1)
+	for i := range ib.intervals {
+		ib.intervals[i].lower.Store(pack.Inf)
+		ib.intervals[i].upper.Store(pack.Inf)
+	}
+	return ib
+}
+
+// Name implements reclaim.Scheme.
+func (ib *IBR) Name() string { return "2GEIBR" }
+
+// Arena implements reclaim.Scheme.
+func (ib *IBR) Arena() *mem.Arena { return ib.arena }
+
+// Era returns the current global era clock value.
+func (ib *IBR) Era() uint64 { return ib.globalEra.Load() }
+
+// Begin starts a fresh reservation interval at the current era.
+func (ib *IBR) Begin(tid int) {
+	e := ib.globalEra.Load()
+	iv := &ib.intervals[tid]
+	iv.upper.Store(e)
+	iv.lower.Store(e)
+}
+
+// GetProtected stretches the thread's upper reservation until the global
+// era stabilises across a read of src.
+func (ib *IBR) GetProtected(tid int, src *atomic.Uint64, index int, parent mem.Handle) uint64 {
+	iv := &ib.intervals[tid]
+	prev := iv.upper.Load()
+	for {
+		ret := src.Load()
+		cur := ib.globalEra.Load()
+		if prev == cur {
+			return ret
+		}
+		iv.upper.Store(cur)
+		prev = cur
+	}
+}
+
+// Clear ends the operation's interval.
+func (ib *IBR) Clear(tid int) {
+	iv := &ib.intervals[tid]
+	iv.lower.Store(pack.Inf)
+	iv.upper.Store(pack.Inf)
+}
+
+// Alloc stamps the block's birth era and periodically advances the clock.
+func (ib *IBR) Alloc(tid int) mem.Handle {
+	t := &ib.threads[tid]
+	if t.allocCount%uint64(ib.cfg.EraFreq) == 0 {
+		ib.advanceEra()
+	}
+	t.allocCount++
+	blk := ib.arena.Alloc(tid)
+	ib.arena.SetAllocEra(blk, ib.globalEra.Load())
+	return blk
+}
+
+// Retire stamps the retire era and periodically scans the retire list. The
+// era also advances on retirement (not just allocation) so that
+// retire-heavy phases with no allocations still make reclamation progress.
+func (ib *IBR) Retire(tid int, blk mem.Handle) {
+	ib.arena.SetRetireEra(blk, ib.globalEra.Load())
+	t := &ib.threads[tid]
+	t.retired.Append(blk)
+	if t.retireCount%uint64(ib.cfg.EraFreq) == 0 {
+		ib.advanceEra()
+	}
+	if t.retireCount%uint64(ib.cfg.CleanupFreq) == 0 {
+		ib.cleanup(tid)
+	}
+	t.retireCount++
+}
+
+// advanceEra bumps the clock, guarding the 38-bit packing bound.
+func (ib *IBR) advanceEra() {
+	if ib.globalEra.Add(1) >= pack.MaxEra {
+		panic("ibr: era clock exhausted (2^38 increments); see pack's width accounting")
+	}
+}
+
+// cleanup gathers the active reservation intervals once and frees every
+// retired block whose lifespan overlaps none of them (conservative in the
+// same way as the per-block re-scan; see the HE cleanup comment).
+func (ib *IBR) cleanup(tid int) {
+	t := &ib.threads[tid]
+	blocks := t.retired.Blocks
+	if len(blocks) == 0 {
+		return
+	}
+	ivs := t.scratch[:0]
+	for i := 0; i < ib.cfg.MaxThreads; i++ {
+		iv := &ib.intervals[i]
+		lower := iv.lower.Load()
+		if lower == pack.Inf {
+			continue
+		}
+		ivs = append(ivs, lower, iv.upper.Load())
+	}
+	t.scratch = ivs
+
+	keep := blocks[:0]
+	for _, blk := range blocks {
+		if ib.canDelete(blk, ivs) {
+			ib.arena.Free(tid, blk)
+		} else {
+			keep = append(keep, blk)
+		}
+	}
+	t.retired.SetBlocks(keep)
+}
+
+// canDelete reports whether the block's [birth, retire] lifespan overlaps
+// none of the gathered [lower, upper] reservation intervals.
+func (ib *IBR) canDelete(blk mem.Handle, ivs []uint64) bool {
+	birth := ib.arena.AllocEra(blk)
+	retire := ib.arena.RetireEra(blk)
+	for i := 0; i < len(ivs); i += 2 {
+		if birth <= ivs[i+1] && retire >= ivs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Unreclaimed implements reclaim.Scheme.
+func (ib *IBR) Unreclaimed() int {
+	total := 0
+	for i := range ib.threads {
+		total += ib.threads[i].retired.Len()
+	}
+	return total
+}

@@ -1,0 +1,67 @@
+// Package leak is the paper's "Leak Memory" baseline: Retire drops blocks on
+// the floor. It bounds the cost every real scheme pays, and its arena usage
+// grows with the number of retirements — size the arena accordingly.
+package leak
+
+import (
+	"sync/atomic"
+
+	"wfe/internal/mem"
+	"wfe/internal/reclaim"
+)
+
+// Leak is the no-reclamation baseline.
+type Leak struct {
+	arena   *mem.Arena
+	leaked  atomic.Int64
+	retires []retireCounter
+}
+
+type retireCounter struct {
+	n uint64
+	_ [56]byte
+}
+
+var _ reclaim.Scheme = (*Leak)(nil)
+
+// New creates the leaking baseline over the given arena.
+func New(arena *mem.Arena, cfg reclaim.Config) *Leak {
+	cfg = cfg.Defaults()
+	return &Leak{arena: arena, retires: make([]retireCounter, cfg.MaxThreads)}
+}
+
+// Name implements reclaim.Scheme.
+func (l *Leak) Name() string { return "Leak" }
+
+// Begin implements reclaim.Scheme.
+func (l *Leak) Begin(tid int) {}
+
+// Arena implements reclaim.Scheme.
+func (l *Leak) Arena() *mem.Arena { return l.arena }
+
+// GetProtected is a plain load: leaked blocks are never reused, so any
+// handle ever observed stays valid.
+func (l *Leak) GetProtected(tid int, src *atomic.Uint64, index int, parent mem.Handle) uint64 {
+	return src.Load()
+}
+
+// Retire leaks the block.
+func (l *Leak) Retire(tid int, blk mem.Handle) {
+	l.arena.SetRetireEra(blk, 0)
+	l.retires[tid].n++
+	l.leaked.Add(1)
+}
+
+// Clear implements reclaim.Scheme.
+func (l *Leak) Clear(tid int) {}
+
+// Alloc implements reclaim.Scheme.
+func (l *Leak) Alloc(tid int) mem.Handle {
+	return l.arena.Alloc(tid)
+}
+
+// Unreclaimed reports the total number of leaked blocks. The paper excludes
+// the leak baseline from unreclaimed-object plots; the harness does too.
+func (l *Leak) Unreclaimed() int {
+	return int(l.leaked.Load())
+}

@@ -1,0 +1,348 @@
+// Package mem is the manual-memory substrate the reclamation schemes manage.
+//
+// The paper's C++ implementation frees blocks back to jemalloc; a freed block
+// may be re-allocated and rewritten while a stale reader still holds a
+// pointer to it — exactly the hazard safe memory reclamation defends against.
+// Go's garbage collector would silently keep such blocks alive and mask
+// reclamation bugs, so this package simulates a manual allocator: a fixed
+// arena of node slots addressed by small handles. Free returns a slot to a
+// free list where it is immediately reusable; slots carry version counters
+// and a state machine (free → live → retired → free) so use-after-free and
+// double-free are *detectable* in debug mode, which is stronger validation
+// than a native allocator offers.
+//
+// A Handle is a 24-bit slot reference; 0 is the nil handle. Handles embed in
+// the 26-bit link values defined by the pack package.
+package mem
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"wfe/internal/pack"
+)
+
+// Handle references an arena slot. 0 is nil; values 1..Capacity are slots.
+type Handle = uint64
+
+// NumWords is the number of general-purpose atomic words per slot. Link
+// fields, mark bits, descriptor words and per-node metadata of every data
+// structure in this repository fit in these words.
+const NumWords = 4
+
+// Slot states.
+const (
+	slotFree uint32 = iota
+	slotLive
+	slotRetired
+)
+
+// poison is written over the payload of freed slots in debug mode so that
+// stale readers observe obviously-wrong values instead of plausible ones.
+const poison = uint64(0xDEADBEEFDEADBEEF)
+
+type slot struct {
+	allocEra  atomic.Uint64
+	retireEra atomic.Uint64
+	state     atomic.Uint32
+	version   atomic.Uint32
+	words     [NumWords]atomic.Uint64
+	key       uint64        // immutable after publication
+	val       atomic.Uint64 // mutable value payload
+	nextFree  Handle        // free-list link; owner-thread or global-lock-free use only
+}
+
+// threadMem is per-registered-thread allocator state, padded to a cache
+// line multiple so neighbouring threads do not false-share.
+type threadMem struct {
+	freeHead Handle
+	freeLen  int
+	allocs   atomic.Uint64
+	frees    atomic.Uint64
+	_        [64]byte
+}
+
+// spillThreshold is the local free-list length above which frees spill to
+// the global list, keeping allocation balanced across producer/consumer
+// thread roles.
+const spillThreshold = 4096
+
+// Config configures an Arena.
+type Config struct {
+	// Capacity is the number of slots. The maximum is 2^24-2 (handle width).
+	Capacity int
+	// MaxThreads is the number of registered threads (tids 0..MaxThreads-1).
+	MaxThreads int
+	// Debug enables state checking and poisoning on every access.
+	Debug bool
+}
+
+// Arena is a bounded slab of slots with per-thread free lists, a global
+// spill list, and a bump allocator for never-used slots.
+type Arena struct {
+	slots   []slot
+	bump    atomic.Uint64 // next never-allocated slot index
+	global  atomic.Uint64 // packed {stamp:40 | handle:24} Treiber free-list head
+	threads []threadMem
+	cap     uint64
+	debug   bool
+}
+
+// New creates an arena. It panics on an invalid configuration: the arena is
+// infrastructure whose sizing is a programming decision, not runtime input.
+func New(cfg Config) *Arena {
+	if cfg.Capacity <= 0 || uint64(cfg.Capacity) > pack.HandleMask-1 {
+		panic(fmt.Sprintf("mem: capacity %d out of range [1, %d]", cfg.Capacity, pack.HandleMask-1))
+	}
+	if cfg.MaxThreads <= 0 {
+		panic("mem: MaxThreads must be positive")
+	}
+	return &Arena{
+		slots:   make([]slot, cfg.Capacity),
+		threads: make([]threadMem, cfg.MaxThreads),
+		cap:     uint64(cfg.Capacity),
+		debug:   cfg.Debug,
+	}
+}
+
+// Capacity returns the number of slots.
+func (a *Arena) Capacity() int { return int(a.cap) }
+
+// Debug reports whether debug checking is enabled.
+func (a *Arena) Debug() bool { return a.debug }
+
+func (a *Arena) slot(h Handle) *slot {
+	return &a.slots[h-1]
+}
+
+// Alloc returns a fresh live slot for thread tid, reusing freed slots when
+// available. It panics when the arena is exhausted: size the arena for the
+// workload (leak-baseline runs in particular must cover every allocation).
+func (a *Arena) Alloc(tid int) Handle {
+	t := &a.threads[tid]
+	h := t.freeHead
+	if h != 0 {
+		s := a.slot(h)
+		t.freeHead = s.nextFree
+		t.freeLen--
+		a.makeLive(h, s)
+		t.allocs.Add(1)
+		return h
+	}
+	if h = a.popGlobal(); h != 0 {
+		a.makeLive(h, a.slot(h))
+		t.allocs.Add(1)
+		return h
+	}
+	idx := a.bump.Add(1) - 1
+	if idx >= a.cap {
+		panic(fmt.Sprintf("mem: arena exhausted (capacity %d); size the arena for the workload", a.cap))
+	}
+	h = idx + 1
+	a.makeLive(h, a.slot(h))
+	t.allocs.Add(1)
+	return h
+}
+
+func (a *Arena) makeLive(h Handle, s *slot) {
+	if a.debug {
+		if st := s.state.Load(); st != slotFree {
+			panic(fmt.Sprintf("mem: alloc of non-free slot %d (state %d)", h, st))
+		}
+	}
+	s.retireEra.Store(0)
+	s.state.Store(slotLive)
+}
+
+// Free returns a retired (or live, for structures that never published the
+// node) slot to the free lists. In debug mode the payload is poisoned and
+// double frees panic.
+func (a *Arena) Free(tid int, h Handle) {
+	s := a.slot(h)
+	if a.debug {
+		st := s.state.Load()
+		if st == slotFree {
+			panic(fmt.Sprintf("mem: double free of slot %d", h))
+		}
+		for i := range s.words {
+			s.words[i].Store(poison)
+		}
+		s.val.Store(poison)
+	}
+	s.version.Add(1)
+	s.state.Store(slotFree)
+	t := &a.threads[tid]
+	if t.freeLen >= spillThreshold {
+		a.pushGlobal(h, s)
+	} else {
+		s.nextFree = t.freeHead
+		t.freeHead = h
+		t.freeLen++
+	}
+	t.frees.Add(1)
+}
+
+// Global spill list: a Treiber stack whose head packs a 40-bit stamp with a
+// 24-bit handle; the stamp defeats ABA on concurrent pops.
+func (a *Arena) pushGlobal(h Handle, s *slot) {
+	for {
+		old := a.global.Load()
+		s.nextFree = old & pack.HandleMask
+		next := (old>>pack.HandleBits+1)<<pack.HandleBits | h
+		if a.global.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (a *Arena) popGlobal() Handle {
+	for {
+		old := a.global.Load()
+		h := old & pack.HandleMask
+		if h == 0 {
+			return 0
+		}
+		s := a.slot(h)
+		nf := s.nextFree
+		next := (old>>pack.HandleBits+1)<<pack.HandleBits | nf
+		if a.global.CompareAndSwap(old, next) {
+			return h
+		}
+	}
+}
+
+func (a *Arena) check(h Handle, op string) {
+	if a.debug {
+		if h == 0 || h > a.cap {
+			panic(fmt.Sprintf("mem: %s through invalid handle %d", op, h))
+		}
+		if a.slot(h).state.Load() == slotFree {
+			panic(fmt.Sprintf("mem: use-after-free — %s of freed slot %d", op, h))
+		}
+	}
+}
+
+// AllocEra returns the slot's allocation era (paper: alloc_era).
+func (a *Arena) AllocEra(h Handle) uint64 {
+	a.check(h, "AllocEra")
+	return a.slot(h).allocEra.Load()
+}
+
+// SetAllocEra stamps the slot's allocation era at allocation time.
+func (a *Arena) SetAllocEra(h Handle, era uint64) {
+	a.check(h, "SetAllocEra")
+	a.slot(h).allocEra.Store(era)
+}
+
+// RetireEra returns the slot's retirement era (paper: retire_era).
+func (a *Arena) RetireEra(h Handle) uint64 {
+	a.check(h, "RetireEra")
+	return a.slot(h).retireEra.Load()
+}
+
+// SetRetireEra stamps the retirement era and moves the slot to the retired
+// state. Only in-flight readers may touch the slot afterwards.
+func (a *Arena) SetRetireEra(h Handle, era uint64) {
+	a.check(h, "SetRetireEra")
+	s := a.slot(h)
+	if a.debug {
+		if st := s.state.Load(); st != slotLive {
+			panic(fmt.Sprintf("mem: retire of slot %d in state %d", h, st))
+		}
+	}
+	s.retireEra.Store(era)
+	s.state.Store(slotRetired)
+}
+
+// LoadWord atomically loads payload word i.
+func (a *Arena) LoadWord(h Handle, i int) uint64 {
+	a.check(h, "LoadWord")
+	return a.slot(h).words[i].Load()
+}
+
+// StoreWord atomically stores payload word i.
+func (a *Arena) StoreWord(h Handle, i int, v uint64) {
+	a.check(h, "StoreWord")
+	a.slot(h).words[i].Store(v)
+}
+
+// CASWord compare-and-swaps payload word i.
+func (a *Arena) CASWord(h Handle, i int, old, new uint64) bool {
+	a.check(h, "CASWord")
+	return a.slot(h).words[i].CompareAndSwap(old, new)
+}
+
+// WordAddr exposes the address of payload word i so it can serve as the
+// hazardous-location argument of Scheme.GetProtected. The address stays
+// valid for the life of the arena even if the slot is freed; reading a
+// freed slot's word through it is the caller's (scheme's) responsibility.
+func (a *Arena) WordAddr(h Handle, i int) *atomic.Uint64 {
+	a.check(h, "WordAddr")
+	return &a.slot(h).words[i]
+}
+
+// Key returns the slot's immutable key.
+func (a *Arena) Key(h Handle) uint64 {
+	a.check(h, "Key")
+	return a.slot(h).key
+}
+
+// SetKey initialises the key. It must happen before the node is published.
+func (a *Arena) SetKey(h Handle, k uint64) {
+	a.check(h, "SetKey")
+	a.slot(h).key = k
+}
+
+// Val returns the slot's value payload.
+func (a *Arena) Val(h Handle) uint64 {
+	a.check(h, "Val")
+	return a.slot(h).val.Load()
+}
+
+// SetVal stores the value payload.
+func (a *Arena) SetVal(h Handle, v uint64) {
+	a.check(h, "SetVal")
+	a.slot(h).val.Store(v)
+}
+
+// CASVal compare-and-swaps the value payload.
+func (a *Arena) CASVal(h Handle, old, new uint64) bool {
+	a.check(h, "CASVal")
+	return a.slot(h).val.CompareAndSwap(old, new)
+}
+
+// Version returns the slot's reuse version; tests use it to detect that a
+// handle observed earlier now refers to a recycled slot.
+func (a *Arena) Version(h Handle) uint32 {
+	return a.slot(h).version.Load()
+}
+
+// Live reports whether the slot is currently allocated (live or retired).
+func (a *Arena) Live(h Handle) bool {
+	return a.slot(h).state.Load() != slotFree
+}
+
+// Stats is a point-in-time allocation census.
+type Stats struct {
+	Allocs uint64 // total allocations
+	Frees  uint64 // total frees
+	InUse  uint64 // Allocs - Frees
+	Bumped uint64 // slots ever touched by the bump allocator
+}
+
+// Stats sums the per-thread counters. The snapshot is approximate under
+// concurrency, which is fine for its monitoring purpose.
+func (a *Arena) Stats() Stats {
+	var st Stats
+	for i := range a.threads {
+		st.Allocs += a.threads[i].allocs.Load()
+		st.Frees += a.threads[i].frees.Load()
+	}
+	st.InUse = st.Allocs - st.Frees
+	b := a.bump.Load()
+	if b > a.cap {
+		b = a.cap
+	}
+	st.Bumped = b
+	return st
+}

@@ -1,0 +1,300 @@
+package mem
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newTestArena(capacity, threads int) *Arena {
+	return New(Config{Capacity: capacity, MaxThreads: threads, Debug: true})
+}
+
+func TestAllocFreeReuse(t *testing.T) {
+	a := newTestArena(16, 1)
+	h1 := a.Alloc(0)
+	if h1 == 0 {
+		t.Fatal("nil handle from Alloc")
+	}
+	a.SetKey(h1, 42)
+	if a.Key(h1) != 42 {
+		t.Fatal("key lost")
+	}
+	v1 := a.Version(h1)
+	a.SetRetireEra(h1, 1)
+	a.Free(0, h1)
+	h2 := a.Alloc(0)
+	if h2 != h1 {
+		t.Fatalf("expected slot reuse, got %d then %d", h1, h2)
+	}
+	if a.Version(h2) == v1 {
+		t.Fatal("version not bumped on free")
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	a := newTestArena(4, 1)
+	h := a.Alloc(0)
+	a.Free(0, h)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic in debug mode")
+		}
+	}()
+	a.Free(0, h)
+}
+
+func TestUseAfterFreePanics(t *testing.T) {
+	a := newTestArena(4, 1)
+	h := a.Alloc(0)
+	a.StoreWord(h, 0, 7)
+	a.Free(0, h)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("use-after-free did not panic in debug mode")
+		}
+	}()
+	a.LoadWord(h, 0)
+}
+
+func TestPoisonOnFree(t *testing.T) {
+	a := newTestArena(4, 1)
+	h := a.Alloc(0)
+	a.StoreWord(h, 2, 12345)
+	a.Free(0, h)
+	// Peek through the raw slot: the accessor would panic.
+	if got := a.slot(h).words[2].Load(); got != poison {
+		t.Fatalf("freed word = %#x, want poison", got)
+	}
+}
+
+func TestExhaustionPanics(t *testing.T) {
+	a := newTestArena(3, 1)
+	for i := 0; i < 3; i++ {
+		a.Alloc(0)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("exhausted arena did not panic")
+		}
+	}()
+	a.Alloc(0)
+}
+
+func TestRetireStateMachine(t *testing.T) {
+	a := newTestArena(4, 1)
+	h := a.Alloc(0)
+	a.SetAllocEra(h, 5)
+	a.SetRetireEra(h, 9)
+	if a.AllocEra(h) != 5 || a.RetireEra(h) != 9 {
+		t.Fatalf("eras: alloc=%d retire=%d", a.AllocEra(h), a.RetireEra(h))
+	}
+	if !a.Live(h) {
+		t.Fatal("retired slot reported not live")
+	}
+	a.Free(0, h)
+	if a.Live(h) {
+		t.Fatal("freed slot reported live")
+	}
+	// Re-allocating must reset the retire era.
+	h2 := a.Alloc(0)
+	if a.RetireEra(h2) != 0 {
+		t.Fatal("retire era not reset on reuse")
+	}
+}
+
+func TestStats(t *testing.T) {
+	a := newTestArena(16, 2)
+	h := a.Alloc(0)
+	a.Alloc(1)
+	a.SetRetireEra(h, 1)
+	a.Free(1, h)
+	st := a.Stats()
+	if st.Allocs != 2 || st.Frees != 1 || st.InUse != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCASWordAndVal(t *testing.T) {
+	a := newTestArena(4, 1)
+	h := a.Alloc(0)
+	a.StoreWord(h, 0, 10)
+	if a.CASWord(h, 0, 11, 12) {
+		t.Fatal("CAS with wrong expected succeeded")
+	}
+	if !a.CASWord(h, 0, 10, 12) {
+		t.Fatal("CAS with right expected failed")
+	}
+	a.SetVal(h, 1)
+	if !a.CASVal(h, 1, 2) || a.Val(h) != 2 {
+		t.Fatal("CASVal failed")
+	}
+}
+
+func TestConcurrentAllocFree(t *testing.T) {
+	const threads = 8
+	const perThread = 5000
+	a := New(Config{Capacity: threads * 64, MaxThreads: threads, Debug: true})
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			live := make([]Handle, 0, 16)
+			for i := 0; i < perThread; i++ {
+				if len(live) == 16 {
+					for _, h := range live {
+						a.SetRetireEra(h, 1)
+						a.Free(tid, h)
+					}
+					live = live[:0]
+				}
+				h := a.Alloc(tid)
+				a.SetKey(h, uint64(tid))
+				live = append(live, h)
+			}
+			for _, h := range live {
+				a.SetRetireEra(h, 1)
+				a.Free(tid, h)
+			}
+		}(tid)
+	}
+	wg.Wait()
+	st := a.Stats()
+	if st.InUse != 0 {
+		t.Fatalf("leak: %d slots in use after balanced alloc/free", st.InUse)
+	}
+	if st.Allocs != threads*perThread {
+		t.Fatalf("allocs = %d, want %d", st.Allocs, threads*perThread)
+	}
+}
+
+func TestGlobalSpill(t *testing.T) {
+	// Force frees beyond the spill threshold on one thread, then allocate
+	// them all back from another thread via the global list.
+	const spilled = 128
+	capacity := spillThreshold + spilled
+	a := New(Config{Capacity: capacity, MaxThreads: 2, Debug: true})
+	hs := make([]Handle, 0, capacity)
+	for i := 0; i < capacity; i++ {
+		hs = append(hs, a.Alloc(0))
+	}
+	for _, h := range hs {
+		a.SetRetireEra(h, 1)
+		a.Free(0, h)
+	}
+	// Thread 0's local list holds spillThreshold slots; the rest spilled to
+	// the global list, where thread 1 (empty local list, exhausted bump
+	// space) can claim them.
+	seen := make(map[Handle]bool)
+	for i := 0; i < spilled; i++ {
+		h := a.Alloc(1)
+		if seen[h] {
+			t.Fatalf("slot %d handed out twice", h)
+		}
+		seen[h] = true
+	}
+	if a.Stats().InUse != spilled {
+		t.Fatalf("in use = %d, want %d", a.Stats().InUse, spilled)
+	}
+}
+
+func TestAllocFreeBalanceQuick(t *testing.T) {
+	// Property: any interleaved sequence of allocs and frees keeps
+	// InUse == Allocs - Frees and never hands out a live slot twice.
+	f := func(ops []bool) bool {
+		a := New(Config{Capacity: 1024, MaxThreads: 1, Debug: true})
+		var live []Handle
+		for _, alloc := range ops {
+			if alloc || len(live) == 0 {
+				if len(live) >= 1000 {
+					continue
+				}
+				h := a.Alloc(0)
+				for _, l := range live {
+					if l == h {
+						return false
+					}
+				}
+				live = append(live, h)
+			} else {
+				h := live[len(live)-1]
+				live = live[:len(live)-1]
+				a.Free(0, h)
+			}
+			st := a.Stats()
+			if st.InUse != uint64(len(live)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	for _, cfg := range []Config{
+		{Capacity: 0, MaxThreads: 1},
+		{Capacity: 1 << 25, MaxThreads: 1},
+		{Capacity: 8, MaxThreads: 0},
+	} {
+		func() {
+			defer func() { recover() }()
+			New(cfg)
+			t.Errorf("config %+v did not panic", cfg)
+		}()
+	}
+}
+
+func TestVersionMonotonicAcrossReuse(t *testing.T) {
+	a := newTestArena(4, 1)
+	h := a.Alloc(0)
+	var last uint32
+	for i := 0; i < 50; i++ {
+		v := a.Version(h)
+		if i > 0 && v <= last {
+			t.Fatalf("version did not advance across reuse: %d then %d", last, v)
+		}
+		last = v
+		a.SetRetireEra(h, 1)
+		a.Free(0, h)
+		h2 := a.Alloc(0)
+		if h2 != h {
+			t.Fatalf("expected slot reuse, got %d", h2)
+		}
+	}
+}
+
+func TestConcurrentGlobalSpillStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	// Producers free into the global list (via spill) while consumers
+	// allocate from it; the stamped head must prevent ABA-induced
+	// double-allocation, which the debug state machine would catch.
+	const threads = 6
+	a := New(Config{Capacity: 2 * threads * spillThreshold, MaxThreads: threads, Debug: true})
+	var wg sync.WaitGroup
+	for t0 := 0; t0 < threads; t0++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			local := make([]Handle, 0, spillThreshold+64)
+			for round := 0; round < 3; round++ {
+				for i := 0; i < spillThreshold+32; i++ {
+					local = append(local, a.Alloc(tid))
+				}
+				for _, h := range local {
+					a.Free(tid, h)
+				}
+				local = local[:0]
+			}
+		}(t0)
+	}
+	wg.Wait()
+	if got := a.Stats().InUse; got != 0 {
+		t.Fatalf("in use = %d after balanced stress", got)
+	}
+}

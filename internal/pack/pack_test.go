@@ -1,0 +1,133 @@
+package pack
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEraTagRoundTrip(t *testing.T) {
+	cases := []struct{ era, tag uint64 }{
+		{0, 0},
+		{1, 0},
+		{0, 1},
+		{Inf, 0},
+		{Inf, 1<<TagBits - 1},
+		{MaxEra, 12345},
+		{42, 7},
+	}
+	for _, c := range cases {
+		et := MakeEraTag(c.era, c.tag)
+		if et.Era() != c.era {
+			t.Errorf("MakeEraTag(%d,%d).Era() = %d", c.era, c.tag, et.Era())
+		}
+		if et.Tag() != c.tag {
+			t.Errorf("MakeEraTag(%d,%d).Tag() = %d", c.era, c.tag, et.Tag())
+		}
+	}
+}
+
+func TestEraTagRoundTripQuick(t *testing.T) {
+	f := func(era, tag uint64) bool {
+		era &= valMask
+		tag &= tagMask
+		et := MakeEraTag(era, tag)
+		return et.Era() == era && et.Tag() == tag
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEraTagWithEra(t *testing.T) {
+	et := MakeEraTag(100, 37)
+	et2 := et.WithEra(Inf)
+	if et2.Era() != Inf || et2.Tag() != 37 {
+		t.Fatalf("WithEra: got era=%d tag=%d", et2.Era(), et2.Tag())
+	}
+}
+
+func TestResPairRoundTripQuick(t *testing.T) {
+	f := func(ptr, val uint64) bool {
+		ptr &= PtrMask
+		val &= valMask
+		rp := MakeRes(ptr, val)
+		return rp.Ptr() == ptr && rp.Val() == val
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResPairPending(t *testing.T) {
+	if !MakeRes(InvPtr, 5).Pending() {
+		t.Error("InvPtr pair should be pending")
+	}
+	if MakeRes(0, Inf).Pending() {
+		t.Error("nil pair should not be pending")
+	}
+	if MakeRes(123, 456).Pending() {
+		t.Error("produced pair should not be pending")
+	}
+}
+
+func TestTagFitsInValField(t *testing.T) {
+	// The slow path stores the 26-bit tag in the 38-bit val field; it must
+	// round-trip exactly so that helpers can compare it against the
+	// reservation's tag.
+	for i := 0; i < 1000; i++ {
+		tag := rand.Uint64() & tagMask
+		rp := MakeRes(InvPtr, tag)
+		if rp.Val() != tag {
+			t.Fatalf("tag %d did not round-trip through ResPair.Val: %d", tag, rp.Val())
+		}
+	}
+}
+
+func TestMarkFlagBits(t *testing.T) {
+	h := uint64(0xABCDEF) // 24-bit handle
+	link := h | MarkBit
+	if Handle(link) != h {
+		t.Errorf("Handle(marked) = %x, want %x", Handle(link), h)
+	}
+	if !Marked(link) {
+		t.Error("Marked(marked) = false")
+	}
+	if Flagged(link) {
+		t.Error("Flagged(marked only) = true")
+	}
+	link |= FlagBit
+	if !Flagged(link) {
+		t.Error("Flagged(flagged) = false")
+	}
+	if Handle(link) != h {
+		t.Errorf("Handle(marked|flagged) = %x, want %x", Handle(link), h)
+	}
+	if link&PtrMask != link {
+		t.Error("marked+flagged link exceeds the 26-bit ptr field")
+	}
+}
+
+func TestInvPtrDisjointFromHandles(t *testing.T) {
+	// InvPtr must not collide with any valid handle, even a marked and
+	// flagged one, as long as handles stay below HandleMask.
+	maxValid := uint64(HandleMask-1) | MarkBit | FlagBit
+	if maxValid == InvPtr {
+		t.Fatal("largest valid link value collides with InvPtr")
+	}
+	if InvPtr != PtrMask {
+		t.Fatal("InvPtr must be the all-ones 26-bit value")
+	}
+}
+
+func TestEraOrdering(t *testing.T) {
+	// The reclamation scan compares eras numerically; Inf must dominate
+	// every real era so an Inf reservation never blocks reclamation... it
+	// is excluded explicitly, but MaxEra < Inf keeps comparisons sane.
+	if MaxEra >= Inf {
+		t.Fatal("MaxEra must be below Inf")
+	}
+	if MakeEraTag(Inf, 0).Era() != Inf {
+		t.Fatal("Inf does not survive packing")
+	}
+}

@@ -1,0 +1,117 @@
+// Package reclaim defines the common safe-memory-reclamation (SMR) interface
+// every scheme in this repository implements and every data structure is
+// written against, mirroring the Hazard-Pointers-compatible API the paper
+// standardises on (get_protected / retire / clear / alloc_block) plus the
+// per-operation Begin hook that epoch- and interval-based schemes need.
+//
+// Threads are identified by small dense ids (tid in 0..MaxThreads-1)
+// assigned by the caller; every per-thread method must be called with a
+// stable tid, from one goroutine at a time per tid.
+package reclaim
+
+import (
+	"sync/atomic"
+
+	"wfe/internal/mem"
+)
+
+// Scheme is a universal memory reclamation scheme.
+type Scheme interface {
+	// Name identifies the scheme in benchmark output ("WFE", "HE", ...).
+	Name() string
+
+	// Begin marks the start of a data-structure operation. Epoch-based
+	// schemes announce activity here; pointer- and era-based schemes no-op.
+	Begin(tid int)
+
+	// GetProtected safely reads the link value stored at src and protects
+	// the block it refers to until Clear (or until the reservation at the
+	// same index is overwritten by a later GetProtected).
+	//
+	// index selects one of the thread's MaxHEs reservation slots. parent is
+	// the block containing src (0 when src is a structure root); only WFE
+	// uses it, to keep the parent alive for helpers (paper §3.4).
+	GetProtected(tid int, src *atomic.Uint64, index int, parent mem.Handle) uint64
+
+	// Retire marks a block, already unlinked from the structure, for
+	// deletion once no in-flight reader can hold it.
+	Retire(tid int, h mem.Handle)
+
+	// Clear resets all reservations made by the thread (paper: clear()).
+	// Data structures call it at the end of every operation.
+	Clear(tid int)
+
+	// Alloc allocates a block and stamps its allocation era
+	// (paper: alloc_block()).
+	Alloc(tid int) mem.Handle
+
+	// Unreclaimed reports the number of retired-but-not-yet-freed blocks,
+	// the paper's reclamation-speed metric. The snapshot may be approximate
+	// under concurrency.
+	Unreclaimed() int
+
+	// Arena exposes the underlying block arena.
+	Arena() *mem.Arena
+}
+
+// Config carries the tuning parameters shared by the schemes, with the
+// paper's evaluation defaults (§5).
+type Config struct {
+	// MaxThreads bounds the number of participating threads.
+	MaxThreads int
+	// MaxHEs is the number of reservations per thread (paper: max_hes).
+	MaxHEs int
+	// EraFreq is ν: the global era/epoch is incremented once per EraFreq
+	// allocations per thread.
+	EraFreq int
+	// CleanupFreq is how many retirements pass between retire-list scans.
+	CleanupFreq int
+	// MaxAttempts bounds WFE's fast path before it requests helping.
+	MaxAttempts int
+	// ForceSlowPath makes WFE take the slow path on every GetProtected,
+	// the stress configuration the paper validates with (§5).
+	ForceSlowPath bool
+}
+
+// Defaults fills unset fields with the paper's evaluation parameters.
+func (c Config) Defaults() Config {
+	if c.MaxThreads == 0 {
+		c.MaxThreads = 8
+	}
+	if c.MaxHEs == 0 {
+		c.MaxHEs = 8
+	}
+	if c.EraFreq == 0 {
+		c.EraFreq = 150
+	}
+	if c.CleanupFreq == 0 {
+		c.CleanupFreq = 30
+	}
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 16
+	}
+	return c
+}
+
+// RetireList is the per-thread list of retired blocks shared by the
+// scheme implementations. Only the owning thread mutates it; the published
+// length feeds the Unreclaimed metric.
+type RetireList struct {
+	Blocks []mem.Handle
+	length atomic.Int64
+}
+
+// Append adds a retired block.
+func (r *RetireList) Append(h mem.Handle) {
+	r.Blocks = append(r.Blocks, h)
+	r.length.Store(int64(len(r.Blocks)))
+}
+
+// SetBlocks replaces the block list after a cleanup scan.
+func (r *RetireList) SetBlocks(b []mem.Handle) {
+	r.Blocks = b
+	r.length.Store(int64(len(b)))
+}
+
+// Len returns the published length; safe to call from any thread.
+func (r *RetireList) Len() int { return int(r.length.Load()) }

@@ -1,0 +1,36 @@
+package reclaim
+
+import "testing"
+
+func TestDefaults(t *testing.T) {
+	d := Config{}.Defaults()
+	if d.MaxThreads != 8 || d.MaxHEs != 8 || d.EraFreq != 150 ||
+		d.CleanupFreq != 30 || d.MaxAttempts != 16 {
+		t.Fatalf("unexpected defaults: %+v", d)
+	}
+	if d.ForceSlowPath {
+		t.Fatal("ForceSlowPath must default to false")
+	}
+	// Explicit values survive.
+	c := Config{MaxThreads: 3, MaxHEs: 4, EraFreq: 5, CleanupFreq: 6, MaxAttempts: 7}.Defaults()
+	if c.MaxThreads != 3 || c.MaxHEs != 4 || c.EraFreq != 5 || c.CleanupFreq != 6 || c.MaxAttempts != 7 {
+		t.Fatalf("Defaults clobbered explicit values: %+v", c)
+	}
+}
+
+func TestRetireList(t *testing.T) {
+	var rl RetireList
+	if rl.Len() != 0 {
+		t.Fatal("fresh list not empty")
+	}
+	rl.Append(1)
+	rl.Append(2)
+	rl.Append(3)
+	if rl.Len() != 3 || len(rl.Blocks) != 3 {
+		t.Fatalf("Len = %d", rl.Len())
+	}
+	rl.SetBlocks(rl.Blocks[:1])
+	if rl.Len() != 1 {
+		t.Fatalf("Len after SetBlocks = %d", rl.Len())
+	}
+}

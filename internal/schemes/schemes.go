@@ -1,0 +1,50 @@
+// Package schemes is the registry tying every reclamation scheme to its
+// benchmark name, so the harness, tests and examples can instantiate any of
+// them uniformly.
+package schemes
+
+import (
+	"fmt"
+
+	"wfe/internal/core"
+	"wfe/internal/ebr"
+	"wfe/internal/he"
+	"wfe/internal/hp"
+	"wfe/internal/ibr"
+	"wfe/internal/leak"
+	"wfe/internal/mem"
+	"wfe/internal/reclaim"
+	"wfe/internal/wfeibr"
+)
+
+// Names lists the schemes in the paper's legend order.
+func Names() []string {
+	return []string{"WFE", "HE", "HP", "EBR", "2GEIBR", "Leak"}
+}
+
+// New instantiates the named scheme over the given arena.
+func New(name string, arena *mem.Arena, cfg reclaim.Config) (reclaim.Scheme, error) {
+	switch name {
+	case "WFE":
+		return core.New(arena, cfg), nil
+	case "WFE-slow": // ablation A2: every GetProtected takes the slow path
+		cfg.ForceSlowPath = true
+		return core.New(arena, cfg), nil
+	case "HE":
+		return he.New(arena, cfg), nil
+	case "HP":
+		return hp.New(arena, cfg), nil
+	case "EBR":
+		return ebr.New(arena, cfg), nil
+	case "2GEIBR":
+		return ibr.New(arena, cfg), nil
+	case "WFE-IBR": // extension: the paper's §2.4 remark — wait-free 2GEIBR
+		return wfeibr.New(arena, cfg), nil
+	case "WFE-IBR-slow":
+		cfg.ForceSlowPath = true
+		return wfeibr.New(arena, cfg), nil
+	case "Leak":
+		return leak.New(arena, cfg), nil
+	}
+	return nil, fmt.Errorf("schemes: unknown scheme %q", name)
+}

@@ -1,0 +1,356 @@
+// Package wfeibr implements the extension the paper sketches in §2.4 and
+// §6: applying the Wait-Free Eras construction to 2GEIBR, the
+// interval-based reclamation variant whose only non-wait-free operation is
+// the same era-stabilisation loop as Hazard Eras'. ("Our approach is
+// applicable to the 2GEIBR version where only hazardous reference accesses
+// need to be made wait-free.")
+//
+// The scheme keeps 2GEIBR's per-thread reservation interval [lower, upper]
+// and adds WFE's machinery around it:
+//
+//   - GetProtected runs the 2GEIBR loop for MaxAttempts rounds (fast path),
+//     then publishes a helping request — one slot per thread, since an
+//     interval scheme has a single in-flight protected read per thread.
+//   - Threads about to advance the era from Alloc or Retire first help
+//     every pending request (increment_era), bounding the slow path by the
+//     number of in-flight increments, exactly as in WFE's Lemma 1.
+//   - A helper protects itself with a dedicated special interval, raises
+//     the requester's upper bound to the read era *before* publishing the
+//     result, and only then releases the special interval. Reclamation
+//     scans therefore gather special intervals first and normal intervals
+//     second: a hand-over between the two reads is caught by the second
+//     (the analogue of the paper's Lemma 5 scan order).
+//
+// The hand-over is simpler than WFE's: raising an interval's upper bound is
+// only ever conservative, so the reservation needs no tag — the per-cycle
+// tag lives solely in the result word, where it makes request identities
+// unique.
+package wfeibr
+
+import (
+	"sync/atomic"
+
+	"wfe/internal/mem"
+	"wfe/internal/pack"
+	"wfe/internal/reclaim"
+)
+
+// interval is a padded [lower, upper] reservation.
+type interval struct {
+	lower atomic.Uint64
+	upper atomic.Uint64
+	_     [48]byte
+}
+
+// slowSlot is one helping request; one per thread suffices because a thread
+// has at most one GetProtected in flight.
+type slowSlot struct {
+	result  atomic.Uint64 // ResPair: {InvPtr, tag} pending, {link, era} produced
+	birth   atomic.Uint64 // parent block's birth era (Inf for roots)
+	pointer atomic.Pointer[atomic.Uint64]
+	_       [40]byte
+}
+
+type threadState struct {
+	allocCount  uint64
+	retireCount uint64
+	tag         uint64 // slow-path cycle counter (owner-local)
+	retired     reclaim.RetireList
+	scratch     []uint64
+	_           [64]byte
+}
+
+// WFEIBR is wait-free 2GEIBR.
+type WFEIBR struct {
+	arena        *mem.Arena
+	cfg          reclaim.Config
+	globalEra    atomic.Uint64
+	counterStart atomic.Uint64
+	counterEnd   atomic.Uint64
+
+	intervals []interval // normal per-thread reservations
+	specials  []interval // helper-side reservations
+	state     []slowSlot
+	threads   []threadState
+	slowPaths atomic.Uint64
+}
+
+var _ reclaim.Scheme = (*WFEIBR)(nil)
+
+// New creates a wait-free 2GEIBR scheme over the given arena.
+func New(arena *mem.Arena, cfg reclaim.Config) *WFEIBR {
+	cfg = cfg.Defaults()
+	n := cfg.MaxThreads
+	w := &WFEIBR{
+		arena:     arena,
+		cfg:       cfg,
+		intervals: make([]interval, n),
+		specials:  make([]interval, n),
+		state:     make([]slowSlot, n),
+		threads:   make([]threadState, n),
+	}
+	w.globalEra.Store(1)
+	for i := 0; i < n; i++ {
+		w.intervals[i].lower.Store(pack.Inf)
+		w.intervals[i].upper.Store(pack.Inf)
+		w.specials[i].lower.Store(pack.Inf)
+		w.specials[i].upper.Store(pack.Inf)
+		w.state[i].result.Store(uint64(pack.MakeRes(0, pack.Inf)))
+	}
+	return w
+}
+
+// Name implements reclaim.Scheme.
+func (w *WFEIBR) Name() string { return "WFE-IBR" }
+
+// Arena implements reclaim.Scheme.
+func (w *WFEIBR) Arena() *mem.Arena { return w.arena }
+
+// Era returns the global era clock.
+func (w *WFEIBR) Era() uint64 { return w.globalEra.Load() }
+
+// SlowPaths returns how many GetProtected calls entered the slow path.
+func (w *WFEIBR) SlowPaths() uint64 { return w.slowPaths.Load() }
+
+// Begin opens the operation's reservation interval at the current era.
+func (w *WFEIBR) Begin(tid int) {
+	e := w.globalEra.Load()
+	iv := &w.intervals[tid]
+	iv.upper.Store(e)
+	iv.lower.Store(e)
+}
+
+// Clear closes the interval.
+func (w *WFEIBR) Clear(tid int) {
+	iv := &w.intervals[tid]
+	iv.lower.Store(pack.Inf)
+	iv.upper.Store(pack.Inf)
+}
+
+// raiseUpper monotonically lifts an interval's upper bound to at least e.
+// Raising is always conservative, so competing raises need no tags.
+func raiseUpper(iv *interval, e uint64) {
+	for {
+		cur := iv.upper.Load()
+		if cur >= e && cur != pack.Inf {
+			return
+		}
+		if cur == pack.Inf {
+			// Closed interval: nothing to protect (stale raise after Clear
+			// would resurrect a dead reservation — skip it).
+			return
+		}
+		if iv.upper.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// GetProtected is the 2GEIBR loop with WFE's fast-path bound and helping.
+func (w *WFEIBR) GetProtected(tid int, src *atomic.Uint64, index int, parent mem.Handle) uint64 {
+	iv := &w.intervals[tid]
+	prev := iv.upper.Load()
+	if !w.cfg.ForceSlowPath {
+		for a := 0; a < w.cfg.MaxAttempts; a++ {
+			ret := src.Load()
+			cur := w.globalEra.Load()
+			if prev == cur {
+				return ret
+			}
+			iv.upper.Store(cur)
+			prev = cur
+		}
+	}
+	return w.getProtectedSlow(tid, src, parent, prev)
+}
+
+func (w *WFEIBR) getProtectedSlow(tid int, src *atomic.Uint64, parent mem.Handle, prev uint64) uint64 {
+	w.slowPaths.Add(1)
+	birth := uint64(pack.Inf)
+	if parent != 0 {
+		birth = w.arena.AllocEra(parent)
+	}
+
+	t := &w.threads[tid]
+	t.tag++
+	tag := t.tag & (1<<pack.EraBits - 1) // fit the ResPair val field
+	if tag == pack.Inf {
+		t.tag++
+		tag = t.tag & (1<<pack.EraBits - 1)
+	}
+
+	w.counterStart.Add(1)
+	st := &w.state[tid]
+	st.pointer.Store(src)
+	st.birth.Store(birth)
+	pending := uint64(pack.MakeRes(pack.InvPtr, tag))
+	st.result.Store(pending)
+
+	iv := &w.intervals[tid]
+	for { // bounded by in-flight era increments (WFE Lemma 1)
+		ret := src.Load()
+		cur := w.globalEra.Load()
+		if prev == cur &&
+			st.result.CompareAndSwap(pending, uint64(pack.MakeRes(0, pack.Inf))) {
+			w.counterEnd.Add(1)
+			return ret
+		}
+		raiseUpper(iv, cur)
+		prev = cur
+
+		res := pack.ResPair(st.result.Load())
+		if !res.Pending() {
+			// A helper produced the output and already raised our upper
+			// bound to res.Val() before publishing; raise again for the
+			// self-raced case where our CAS lost.
+			raiseUpper(iv, res.Val())
+			w.counterEnd.Add(1)
+			return res.Ptr()
+		}
+	}
+}
+
+// incrementEra helps all pending requests, then advances the clock.
+func (w *WFEIBR) incrementEra(tid int) {
+	ce := w.counterEnd.Load()
+	cs := w.counterStart.Load()
+	if cs != ce {
+		for i := 0; i < w.cfg.MaxThreads; i++ {
+			if pack.ResPair(w.state[i].result.Load()).Pending() {
+				w.helpThread(i, tid)
+			}
+		}
+	}
+	if w.globalEra.Add(1) >= pack.MaxEra {
+		panic("wfeibr: era clock exhausted (2^38 increments); see pack's width accounting")
+	}
+}
+
+// helpThread completes thread i's pending protected read.
+func (w *WFEIBR) helpThread(i, tid int) {
+	st := &w.state[i]
+	res := pack.ResPair(st.result.Load())
+	if !res.Pending() {
+		return
+	}
+	birth := st.birth.Load()
+	sp := &w.specials[tid]
+
+	// Cover the parent block (and everything we may read) with the special
+	// interval before re-validating the request; the re-read proves the
+	// request was still pending — and the requester's own interval still
+	// open — at a moment the special interval already protected us.
+	start := w.globalEra.Load()
+	lo := birth
+	if lo == pack.Inf {
+		lo = start
+	}
+	sp.upper.Store(start)
+	sp.lower.Store(lo)
+
+	if pack.ResPair(st.result.Load()) != res {
+		sp.lower.Store(pack.Inf)
+		sp.upper.Store(pack.Inf)
+		return
+	}
+	ptr := st.pointer.Load()
+	prev := start
+	for ptr != nil { // bounded by in-flight era increments (WFE Lemma 2)
+		ret := ptr.Load() & pack.PtrMask
+		cur := w.globalEra.Load()
+		if prev == cur {
+			// Hand the reservation over before publishing the result
+			// (scan order: specials first, normals second — the raise
+			// lands before the special interval is released below).
+			raiseUpper(&w.intervals[i], cur)
+			st.result.CompareAndSwap(uint64(res), uint64(pack.MakeRes(ret, cur)))
+			break
+		}
+		sp.upper.Store(cur)
+		prev = cur
+		if pack.ResPair(st.result.Load()) != res {
+			break
+		}
+	}
+	sp.lower.Store(pack.Inf)
+	sp.upper.Store(pack.Inf)
+}
+
+// Alloc stamps the birth era, helping before each periodic era advance.
+func (w *WFEIBR) Alloc(tid int) mem.Handle {
+	t := &w.threads[tid]
+	if t.allocCount%uint64(w.cfg.EraFreq) == 0 {
+		w.incrementEra(tid)
+	}
+	t.allocCount++
+	blk := w.arena.Alloc(tid)
+	w.arena.SetAllocEra(blk, w.globalEra.Load())
+	return blk
+}
+
+// Retire stamps the retire era and periodically scans; era advances on
+// retirement too (see the ibr package), via the helping path.
+func (w *WFEIBR) Retire(tid int, blk mem.Handle) {
+	w.arena.SetRetireEra(blk, w.globalEra.Load())
+	t := &w.threads[tid]
+	t.retired.Append(blk)
+	if t.retireCount%uint64(w.cfg.EraFreq) == 0 {
+		w.incrementEra(tid)
+	}
+	if t.retireCount%uint64(w.cfg.CleanupFreq) == 0 {
+		w.cleanup(tid)
+	}
+	t.retireCount++
+}
+
+// cleanup gathers special intervals first and normal intervals second (the
+// Lemma 5 scan order for the upper-bound hand-over), then frees every block
+// whose lifespan overlaps none of them.
+func (w *WFEIBR) cleanup(tid int) {
+	t := &w.threads[tid]
+	blocks := t.retired.Blocks
+	if len(blocks) == 0 {
+		return
+	}
+	ivs := t.scratch[:0]
+	for _, set := range [][]interval{w.specials, w.intervals} {
+		for i := range set {
+			lower := set[i].lower.Load()
+			if lower == pack.Inf {
+				continue
+			}
+			ivs = append(ivs, lower, set[i].upper.Load())
+		}
+	}
+	t.scratch = ivs
+
+	keep := blocks[:0]
+	for _, blk := range blocks {
+		if w.canDelete(blk, ivs) {
+			w.arena.Free(tid, blk)
+		} else {
+			keep = append(keep, blk)
+		}
+	}
+	t.retired.SetBlocks(keep)
+}
+
+func (w *WFEIBR) canDelete(blk mem.Handle, ivs []uint64) bool {
+	birth := w.arena.AllocEra(blk)
+	retire := w.arena.RetireEra(blk)
+	for i := 0; i < len(ivs); i += 2 {
+		if birth <= ivs[i+1] && retire >= ivs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Unreclaimed implements reclaim.Scheme.
+func (w *WFEIBR) Unreclaimed() int {
+	total := 0
+	for i := range w.threads {
+		total += w.threads[i].retired.Len()
+	}
+	return total
+}
