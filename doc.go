@@ -5,8 +5,33 @@
 // a leaky baseline), the six concurrent data structures of the paper's
 // evaluation, and the benchmark harness that regenerates every figure.
 //
-// Layout:
+// # Public API
 //
+// The package's public face is the generic Domain layer:
+//
+//   - Domain[T] — a typed arena of T-valued blocks plus the reclamation
+//     scheme (chosen by SchemeKind) that decides when retired blocks may be
+//     recycled. NewDomain is the entry point for every scheme.
+//   - Guard — one goroutine's handle on a Domain, owning one of the
+//     scheme's thread slots (the paper's tid): all allocation (Alloc),
+//     protected reads
+//     (Protect/ProtectWord), retirement (Retire) and operation brackets
+//     (Begin/End) go through it.
+//   - Ref[T] and Atomic[T] — typed block references (with Harris–Michael
+//     mark-bit support) and atomic root links, replacing the raw uint64
+//     handle plumbing of the internal layer.
+//   - Stack[T], Queue[T], Map[T] — Treiber stack, Michael–Scott queue and
+//     Michael's hash map, pre-built on the Domain primitives.
+//
+// See ExampleDomain for the quickstart and ExampleGuard for building a
+// custom structure on the primitives.
+//
+// # Layout
+//
+//	domain.go         Domain[T], Guard, Ref[T], Atomic[T], SchemeKind
+//	stack.go          public Treiber stack
+//	queue.go          public Michael–Scott queue
+//	map.go            public lock-free hash map
 //	internal/core     WFE, the paper's contribution (Figure 4)
 //	internal/he       Hazard Eras (Figure 1)
 //	internal/hp       Hazard Pointers
@@ -21,8 +46,12 @@
 //	internal/bench    workload generator and per-figure experiment runner
 //	cmd/wfebench      regenerates Figures 5–11 and the ablations
 //	cmd/wfestress     correctness stress tool (forced slow path, stalls)
-//	examples/...      runnable API walkthroughs
+//	cmd/wfelat        per-operation latency comparison of the queues
+//	examples/...      runnable walkthroughs of the public API
 //
-// The benchmarks in bench_test.go measure one configuration per paper
-// figure; cmd/wfebench performs the full thread sweeps.
+// The internal/ds structures speak the internal reclaim.Scheme interface
+// directly and remain the benchmark substrate; the public Stack, Queue and
+// Map are their Domain-API counterparts. The benchmarks in bench_test.go
+// measure one configuration per paper figure; cmd/wfebench performs the
+// full thread sweeps.
 package wfe

@@ -1,0 +1,425 @@
+package wfe
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"wfe/internal/mem"
+	"wfe/internal/pack"
+	"wfe/internal/reclaim"
+	"wfe/internal/schemes"
+)
+
+// SchemeKind selects a safe-memory-reclamation scheme for a Domain. The
+// zero value is WFE, the paper's contribution; the others are the baselines
+// of its evaluation plus the §2.4 wait-free 2GEIBR extension.
+type SchemeKind int
+
+const (
+	// WFE is Wait-Free Eras (paper Figure 4): every reclamation operation
+	// completes in a bounded number of steps.
+	WFE SchemeKind = iota
+	// HE is Hazard Eras (paper Figure 1), the lock-free scheme WFE extends.
+	HE
+	// HP is classical Hazard Pointers (Michael, TPDS 2004).
+	HP
+	// EBR is epoch-based reclamation: the fastest reads, but one stalled
+	// guard stops all reclamation.
+	EBR
+	// TwoGEIBR is 2GEIBR interval-based reclamation (Wen et al., PPoPP 2018).
+	TwoGEIBR
+	// Leak never reclaims; it bounds the cost every real scheme pays. Size
+	// Capacity for the whole workload's allocations.
+	Leak
+	// WFEIBR applies the WFE construction to 2GEIBR (paper §2.4), making the
+	// interval scheme's protected reads wait-free too.
+	WFEIBR
+)
+
+// String returns the scheme's benchmark-legend name.
+func (k SchemeKind) String() string {
+	switch k {
+	case WFE:
+		return "WFE"
+	case HE:
+		return "HE"
+	case HP:
+		return "HP"
+	case EBR:
+		return "EBR"
+	case TwoGEIBR:
+		return "2GEIBR"
+	case Leak:
+		return "Leak"
+	case WFEIBR:
+		return "WFE-IBR"
+	}
+	return fmt.Sprintf("SchemeKind(%d)", int(k))
+}
+
+// AllSchemes lists every SchemeKind in the paper's legend order, with the
+// WFE-IBR extension last.
+func AllSchemes() []SchemeKind {
+	return []SchemeKind{WFE, HE, HP, EBR, TwoGEIBR, Leak, WFEIBR}
+}
+
+// ParseScheme maps a scheme's legend name ("WFE", "HE", "HP", "EBR",
+// "2GEIBR", "Leak", "WFE-IBR") back to its SchemeKind — the inverse of
+// String, for command-line flags.
+func ParseScheme(name string) (SchemeKind, error) {
+	for _, k := range AllSchemes() {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("wfe: unknown scheme %q", name)
+}
+
+// NumWords is the number of 64-bit link/metadata words every allocated
+// block carries, in addition to its typed value. Word indices passed to
+// Guard.Load, Guard.Store, Guard.LoadMeta etc. must be < NumWords; whether
+// a given word holds a Ref link or raw metadata is the data structure's
+// convention.
+const NumWords = mem.NumWords
+
+// Options configures a Domain. The zero value is usable: WFE over a
+// 2^20-block arena sized for GOMAXPROCS guards with the paper's §5 tuning
+// defaults.
+type Options struct {
+	// Scheme selects the reclamation scheme (default WFE).
+	Scheme SchemeKind
+	// Capacity is the number of blocks in the arena (default 2^20, maximum
+	// 2^24-2). The arena is fixed-size: allocation panics when it is
+	// exhausted, so size it for the workload — generously for Leak, which
+	// never recycles.
+	Capacity int
+	// MaxGuards bounds the number of concurrently held Guards (default
+	// runtime.GOMAXPROCS(0)).
+	MaxGuards int
+	// MaxSlots is the number of protection slots per guard (paper: max_hes;
+	// default 8). Stack needs 1, Queue 2, Map 3.
+	MaxSlots int
+	// EraFreq is ν, the allocations per guard between era-clock increments
+	// (default 150, the paper's §5 value).
+	EraFreq int
+	// CleanupFreq is the retirements between retire-list scans (default 30,
+	// the paper's §5 value).
+	CleanupFreq int
+	// MaxAttempts bounds WFE's fast path before it requests helping
+	// (default 16).
+	MaxAttempts int
+	// ForceSlowPath makes WFE and WFEIBR take the helping slow path on
+	// every protected read — the paper's §5 stress validation mode.
+	ForceSlowPath bool
+	// Debug arms the arena's use-after-free and double-free detection and
+	// poisons freed blocks. Recommended in tests; costs ~2x.
+	Debug bool
+}
+
+// A Domain[T] owns an arena of T-valued blocks and the reclamation scheme
+// that decides when retired blocks may be recycled. All blocks, Refs and
+// Guards belong to exactly one Domain; mixing Domains is a programming
+// error (caught in Debug mode when handles go out of range).
+//
+// A Domain is the public face of the paper's reclamation API: goroutines
+// acquire a Guard, and every allocation, protected read and retirement goes
+// through it. Typical use:
+//
+//	d, _ := wfe.NewDomain[string](wfe.Options{Scheme: wfe.WFE})
+//	g := d.Guard()
+//	defer g.Release()
+//	s := wfe.NewStack[string](d)
+//	s.Push(g, "hello")
+type Domain[T any] struct {
+	smr   reclaim.Scheme
+	arena *mem.Arena
+	kind  SchemeKind
+	// vals is the typed value slab, indexed by block handle minus one. A
+	// block's value is written once by Alloc before the block is published
+	// and never mutated while the block is live, so protected readers need
+	// no atomics; the arena's free hook zeroes the entry when the block
+	// dies, so dead values do not linger as GC roots.
+	vals []T
+
+	mu       sync.Mutex
+	freeTids []int
+}
+
+// NewDomain creates a Domain with blocks carrying a value of type T.
+func NewDomain[T any](opts Options) (*Domain[T], error) {
+	if opts.Capacity == 0 {
+		opts.Capacity = 1 << 20
+	}
+	if opts.Capacity < 1 || uint64(opts.Capacity) > pack.HandleMask-1 {
+		return nil, fmt.Errorf("wfe: Capacity %d out of range [1, %d]", opts.Capacity, pack.HandleMask-1)
+	}
+	if opts.MaxGuards == 0 {
+		opts.MaxGuards = runtime.GOMAXPROCS(0)
+	}
+	if opts.MaxGuards < 0 {
+		return nil, fmt.Errorf("wfe: MaxGuards %d must be positive", opts.MaxGuards)
+	}
+	arena := mem.New(mem.Config{Capacity: opts.Capacity, MaxThreads: opts.MaxGuards, Debug: opts.Debug})
+	cfg := reclaim.Config{
+		MaxThreads:    opts.MaxGuards,
+		MaxHEs:        opts.MaxSlots,
+		EraFreq:       opts.EraFreq,
+		CleanupFreq:   opts.CleanupFreq,
+		MaxAttempts:   opts.MaxAttempts,
+		ForceSlowPath: opts.ForceSlowPath,
+	}
+	smr, err := schemes.New(opts.Scheme.String(), arena, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("wfe: %v", err)
+	}
+	d := &Domain[T]{
+		smr:      smr,
+		arena:    arena,
+		kind:     opts.Scheme,
+		vals:     make([]T, opts.Capacity),
+		freeTids: make([]int, opts.MaxGuards),
+	}
+	for i := range d.freeTids {
+		d.freeTids[i] = opts.MaxGuards - 1 - i // pop order: 0, 1, 2, ...
+	}
+	// Drop a block's value the moment it is recycled: no reader can hold a
+	// freed block (that is the reclamation invariant), and without this a
+	// drained structure would pin up to Capacity dead payloads for the GC.
+	arena.SetFreeHook(func(h mem.Handle) {
+		var zero T
+		d.vals[h-1] = zero
+	})
+	return d, nil
+}
+
+// Scheme returns the Domain's reclamation scheme kind.
+func (d *Domain[T]) Scheme() SchemeKind { return d.kind }
+
+// Guard acquires one of the Domain's MaxGuards guard handles. It panics
+// when all are held: guard count is a sizing decision like arena capacity,
+// not a runtime condition. Use TryGuard to poll instead.
+func (d *Domain[T]) Guard() *Guard[T] {
+	g, ok := d.TryGuard()
+	if !ok {
+		panic("wfe: all guards in use; raise Options.MaxGuards or Release an idle guard")
+	}
+	return g
+}
+
+// TryGuard acquires a guard, reporting false when all are held.
+func (d *Domain[T]) TryGuard() (*Guard[T], bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.freeTids)
+	if n == 0 {
+		return nil, false
+	}
+	tid := d.freeTids[n-1]
+	d.freeTids = d.freeTids[:n-1]
+	return &Guard[T]{d: d, tid: tid}, true
+}
+
+// Unreclaimed reports the number of retired-but-not-yet-recycled blocks,
+// the paper's reclamation-speed metric. Approximate under concurrency.
+func (d *Domain[T]) Unreclaimed() int { return d.smr.Unreclaimed() }
+
+// Telemetry is a point-in-time census of a Domain's reclamation machinery.
+type Telemetry struct {
+	Scheme      string // scheme legend name
+	Era         uint64 // global era/epoch clock (0 for clock-less schemes)
+	SlowPaths   uint64 // protected reads that requested helping (WFE/WFEIBR)
+	MaxSteps    uint64 // worst protect-loop iteration count seen by any guard
+	Unreclaimed int    // retired blocks not yet recycled
+	Allocs      uint64 // total block allocations
+	Frees       uint64 // total blocks recycled
+	InUse       uint64 // Allocs - Frees
+	Capacity    int    // arena size in blocks
+}
+
+// Telemetry samples the Domain's counters. The snapshot is approximate
+// under concurrency, which is fine for its monitoring purpose.
+func (d *Domain[T]) Telemetry() Telemetry {
+	st := d.arena.Stats()
+	t := Telemetry{
+		Scheme:      d.kind.String(),
+		Unreclaimed: d.smr.Unreclaimed(),
+		Allocs:      st.Allocs,
+		Frees:       st.Frees,
+		InUse:       st.InUse,
+		Capacity:    d.arena.Capacity(),
+	}
+	if e, ok := d.smr.(interface{ Era() uint64 }); ok {
+		t.Era = e.Era()
+	}
+	if s, ok := d.smr.(interface{ SlowPaths() uint64 }); ok {
+		t.SlowPaths = s.SlowPaths()
+	}
+	if m, ok := d.smr.(interface{ MaxSteps() uint64 }); ok {
+		t.MaxSteps = m.MaxSteps()
+	}
+	return t
+}
+
+// A Ref[T] is a typed reference to a block of its Domain, possibly carrying
+// a mark bit (see WithMark). The zero Ref is nil. Refs are plain values:
+// comparable with ==, freely copyable, and only dereferenceable through a
+// Guard while the block is protected, owned, or quiescent.
+type Ref[T any] struct{ link uint64 }
+
+// IsNil reports whether the Ref references no block (mark bit ignored).
+func (r Ref[T]) IsNil() bool { return r.link&pack.HandleMask == 0 }
+
+// Marked reports whether the Ref carries the logical-deletion mark bit.
+func (r Ref[T]) Marked() bool { return r.link&pack.MarkBit != 0 }
+
+// WithMark returns the Ref with the Harris–Michael logical-deletion mark
+// bit set. A marked link stored in a node's word means the node is deleted;
+// the mark travels with the link, not the block.
+func (r Ref[T]) WithMark() Ref[T] { return Ref[T]{r.link | pack.MarkBit} }
+
+// Unmarked returns the Ref with the mark bit cleared.
+func (r Ref[T]) Unmarked() Ref[T] { return Ref[T]{r.link &^ pack.MarkBit} }
+
+func (r Ref[T]) handle() mem.Handle { return r.link & pack.HandleMask }
+
+// An Atomic[T] is an atomic link cell holding a Ref[T] — the root pointer
+// of a concurrent structure (a stack top, a queue head, a bucket head).
+// The zero value holds the nil Ref. Reading a non-root link that another
+// goroutine may retire requires Guard.Protect, not Load.
+type Atomic[T any] struct{ v atomic.Uint64 }
+
+// Load returns the current Ref.
+func (a *Atomic[T]) Load() Ref[T] { return Ref[T]{a.v.Load()} }
+
+// Store sets the Ref. The referenced block must already be fully
+// initialised: Store publishes it.
+func (a *Atomic[T]) Store(r Ref[T]) { a.v.Store(r.link) }
+
+// CompareAndSwap swaps old for new atomically, reporting success.
+func (a *Atomic[T]) CompareAndSwap(old, new Ref[T]) bool {
+	return a.v.CompareAndSwap(old.link, new.link)
+}
+
+// A Guard is one goroutine's handle on a Domain: it owns one of the
+// scheme's thread slots (the paper's tid) and with it the right to
+// allocate, protect and retire blocks. A Guard must be used by one
+// goroutine at a time; acquire with Domain.Guard, return with Release.
+//
+// A custom data structure built on Guards follows the paper's operation
+// shape: Begin, any number of Protect/Load/Store/CompareAndSwap/Retire
+// calls, then End. The built-in Stack, Queue and Map do this internally —
+// their callers only acquire the Guard.
+type Guard[T any] struct {
+	d   *Domain[T]
+	tid int
+}
+
+// Domain returns the Domain this guard belongs to.
+func (g *Guard[T]) Domain() *Domain[T] { return g.d }
+
+// Release returns the guard to its Domain. The guard must not be used
+// afterwards. Release drops any protections the guard still holds (an
+// implicit End), so a guard abandoned mid-operation — a panic between
+// Begin and End, say — cannot block reclamation for the rest of the
+// Domain's life.
+func (g *Guard[T]) Release() {
+	d := g.d
+	d.smr.Clear(g.tid)
+	d.mu.Lock()
+	d.freeTids = append(d.freeTids, g.tid)
+	d.mu.Unlock()
+	g.d = nil // fail fast on use-after-Release
+}
+
+// Begin marks the start of a data-structure operation. Epoch- and
+// interval-based schemes announce activity here; WFE, HE and HP no-op.
+func (g *Guard[T]) Begin() { g.d.smr.Begin(g.tid) }
+
+// End marks the end of an operation, dropping every protection the guard
+// holds (the paper's clear()). Refs obtained from Protect must not be
+// dereferenced after End.
+func (g *Guard[T]) End() { g.d.smr.Clear(g.tid) }
+
+// Alloc allocates a block holding v and returns an owned (not yet
+// published) Ref to it. All NumWords link/metadata words are zeroed (the
+// arena recycles blocks without clearing them). Stamp metadata with
+// StoreMeta and links with Store before publishing the block by CAS-ing
+// its Ref into the structure.
+func (g *Guard[T]) Alloc(v T) Ref[T] {
+	h := g.d.smr.Alloc(g.tid)
+	for i := 0; i < NumWords; i++ {
+		g.d.arena.StoreWord(h, i, 0)
+	}
+	g.d.vals[h-1] = v
+	return Ref[T]{h}
+}
+
+// Dealloc returns a never-published block to the arena immediately — the
+// undo of Alloc for the insert-lost-the-race case. It must not be used on
+// a block any other goroutine could have seen; published blocks go through
+// Retire instead.
+func (g *Guard[T]) Dealloc(r Ref[T]) { g.d.arena.Free(g.tid, r.handle()) }
+
+// Retire hands a block that has been unlinked from its structure to the
+// reclamation scheme, which recycles it once no protected reader can still
+// hold it. Retire does not release the caller's own protection — the
+// caller may keep using the block until End.
+func (g *Guard[T]) Retire(r Ref[T]) { g.d.smr.Retire(g.tid, r.handle()) }
+
+// Protect reads a structure-root link and protects the referenced block
+// until End (or until slot is reused by a later Protect). slot selects one
+// of the guard's MaxSlots protections. The returned Ref preserves the mark
+// bit stored in the link.
+func (g *Guard[T]) Protect(src *Atomic[T], slot int) Ref[T] {
+	return Ref[T]{g.d.smr.GetProtected(g.tid, &src.v, slot, 0) & pack.PtrMask}
+}
+
+// ProtectWord reads link word `word` of the protected-or-owned block
+// `parent` and protects the referenced block, like Protect. Passing the
+// parent lets WFE's helpers keep it alive while they complete the read on
+// the guard's behalf (paper §3.4).
+func (g *Guard[T]) ProtectWord(parent Ref[T], word, slot int) Ref[T] {
+	ph := parent.handle()
+	src := g.d.arena.WordAddr(ph, word)
+	return Ref[T]{g.d.smr.GetProtected(g.tid, src, slot, ph) & pack.PtrMask}
+}
+
+// Value returns the block's value. The block must be protected, owned, or
+// quiescent; in Debug mode a freed block panics.
+func (g *Guard[T]) Value(r Ref[T]) T {
+	h := r.handle()
+	g.d.arena.CheckLive(h, "Value")
+	return g.d.vals[h-1]
+}
+
+// Load atomically reads link word `word` of block r, mark bit included.
+// Use Protect/ProtectWord instead when the referenced block must stay
+// alive across the read.
+func (g *Guard[T]) Load(r Ref[T], word int) Ref[T] {
+	return Ref[T]{g.d.arena.LoadWord(r.handle(), word) & pack.PtrMask}
+}
+
+// Store atomically writes link word `word` of block r.
+func (g *Guard[T]) Store(r Ref[T], word int, l Ref[T]) {
+	g.d.arena.StoreWord(r.handle(), word, l.link)
+}
+
+// CompareAndSwap atomically swaps link word `word` of block r from old to
+// new, reporting success. Mark bits participate in the comparison: a CAS
+// expecting an unmarked link fails once a deleter marks it.
+func (g *Guard[T]) CompareAndSwap(r Ref[T], word int, old, new Ref[T]) bool {
+	return g.d.arena.CASWord(r.handle(), word, old.link, new.link)
+}
+
+// LoadMeta atomically reads word `word` of block r as raw metadata (a key,
+// a version, a length — anything that is not a link).
+func (g *Guard[T]) LoadMeta(r Ref[T], word int) uint64 {
+	return g.d.arena.LoadWord(r.handle(), word)
+}
+
+// StoreMeta atomically writes raw metadata word `word` of block r.
+func (g *Guard[T]) StoreMeta(r Ref[T], word int, v uint64) {
+	g.d.arena.StoreWord(r.handle(), word, v)
+}

@@ -1,0 +1,86 @@
+package wfe_test
+
+import (
+	"fmt"
+
+	"wfe"
+)
+
+// ExampleDomain shows the whole public API in one sitting: build a Domain
+// over a reclamation scheme, acquire a Guard per goroutine, and run typed
+// structures on it. Swapping wfe.WFE for any other SchemeKind changes the
+// reclamation algorithm, not a line of data-structure code — the
+// "universal" in universal memory reclamation.
+func ExampleDomain() {
+	d, err := wfe.NewDomain[string](wfe.Options{
+		Scheme:    wfe.WFE, // or HE, HP, EBR, TwoGEIBR, Leak, WFEIBR
+		Capacity:  1024,    // blocks in the arena
+		MaxGuards: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	g := d.Guard() // one per goroutine
+	defer g.Release()
+
+	s := wfe.NewStack[string](d)
+	s.Push(g, "world")
+	s.Push(g, "hello")
+	for {
+		v, ok := s.Pop(g)
+		if !ok {
+			break
+		}
+		fmt.Println(v)
+	}
+
+	m := wfe.NewMap[string](d, 16)
+	m.Put(g, 42, "answer")
+	if v, ok := m.Get(g, 42); ok {
+		fmt.Println(v)
+	}
+
+	fmt.Println("unreclaimed:", d.Unreclaimed() <= 2)
+	// Output:
+	// hello
+	// world
+	// answer
+	// unreclaimed: true
+}
+
+// ExampleGuard builds a minimal custom structure — a single protected
+// cell with copy-on-write updates — directly on Guard primitives,
+// following the paper's operation shape: Begin, Protect, Retire, End.
+func ExampleGuard() {
+	d, _ := wfe.NewDomain[int](wfe.Options{Capacity: 64, MaxGuards: 1})
+	g := d.Guard()
+	defer g.Release()
+
+	var cell wfe.Atomic[int] // structure root holding a Ref[int]
+
+	// Publish an initial value.
+	g.Begin()
+	cell.Store(g.Alloc(1))
+	g.End()
+
+	// Copy-on-write increment: protect, read, swap, retire.
+	for {
+		g.Begin()
+		old := g.Protect(&cell, 0)
+		next := g.Alloc(g.Value(old) + 41)
+		if cell.CompareAndSwap(old, next) {
+			g.Retire(old)
+			g.End()
+			break
+		}
+		g.Dealloc(next) // lost the race; next was never published
+		g.End()
+	}
+
+	g.Begin()
+	fmt.Println(g.Value(g.Protect(&cell, 0)))
+	g.End()
+	// Output:
+	// 42
+}

@@ -1,6 +1,7 @@
-// Wait-freedom, made visible: this program measures the latency of
-// GetProtected under an adversarial "era storm" — a thread that advances
-// the global era clock as fast as it can by allocating and retiring.
+// Wait-freedom, made visible: this program measures the latency of a
+// protected read (Guard.Protect) under an adversarial "era storm" — guards
+// that advance the global era clock as fast as they can by allocating and
+// retiring.
 //
 // Hazard Eras' protect loop only terminates when it observes the same era
 // twice in a row, so the storm inflates its tail latency without bound
@@ -18,12 +19,9 @@ package main
 import (
 	"fmt"
 	"sort"
-	"sync/atomic"
 	"time"
 
-	"wfe/internal/mem"
-	"wfe/internal/reclaim"
-	"wfe/internal/schemes"
+	"wfe"
 )
 
 const (
@@ -35,10 +33,10 @@ const (
 func main() {
 	fmt.Printf("%-8s %10s %10s %10s %10s %12s %12s\n",
 		"scheme", "median", "p99", "p99.99", "max", "max steps", "slow paths")
-	for _, name := range []string{"WFE", "HE"} {
-		med, p99, p9999, max, steps, slow := measure(name)
+	for _, kind := range []wfe.SchemeKind{wfe.WFE, wfe.HE} {
+		med, p99, p9999, max, tel := measure(kind)
 		fmt.Printf("%-8s %10s %10s %10s %10s %12d %12d\n",
-			name, med, p99, p9999, max, steps, slow)
+			kind, med, p99, p9999, max, tel.MaxSteps, tel.SlowPaths)
 	}
 	fmt.Println("\n\"max steps\" is the worst protect-loop iteration count for one read.")
 	fmt.Println("HE retries for as long as the era keeps moving (unbounded, lock-free);")
@@ -47,10 +45,11 @@ func main() {
 	fmt.Println("(Wall-clock percentiles include OS scheduling noise; the step counts don't.)")
 }
 
-func measure(name string) (med, p99, p9999, max time.Duration, steps, slow uint64) {
-	arena := mem.New(mem.Config{Capacity: 1 << 22, MaxThreads: stormers + 1, Debug: false})
-	smr, err := schemes.New(name, arena, reclaim.Config{
-		MaxThreads:  stormers + 1,
+func measure(kind wfe.SchemeKind) (med, p99, p9999, max time.Duration, tel wfe.Telemetry) {
+	d, err := wfe.NewDomain[int](wfe.Options{
+		Scheme:      kind,
+		Capacity:    1 << 22,
+		MaxGuards:   stormers + 1,
 		EraFreq:     1, // every allocation advances the era: the storm
 		CleanupFreq: 64,
 		MaxAttempts: maxAttempts,
@@ -59,43 +58,37 @@ func measure(name string) (med, p99, p9999, max time.Duration, steps, slow uint6
 		panic(err)
 	}
 
-	var root atomic.Uint64
-	root.Store(smr.Alloc(1))
+	reader := d.Guard()
+	var root wfe.Atomic[int]
+	root.Store(reader.Alloc(0))
 
 	stop := make(chan struct{})
-	for st := 1; st <= stormers; st++ {
-		go func(tid int) { // the era storm
+	for st := 0; st < stormers; st++ {
+		go func() { // the era storm
+			g := d.Guard()
+			defer g.Release()
 			for {
 				select {
 				case <-stop:
 					return
 				default:
 				}
-				blk := smr.Alloc(tid)
-				smr.Retire(tid, blk)
+				g.Retire(g.Alloc(0))
 			}
-		}(st)
+		}()
 	}
 
 	lat := make([]time.Duration, reads)
 	for i := range lat {
 		t0 := time.Now()
-		smr.GetProtected(0, &root, 0, 0)
+		reader.Protect(&root, 0)
 		lat[i] = time.Since(t0)
-		smr.Clear(0)
+		reader.End()
 	}
 	close(stop)
+	reader.Release()
 
 	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-	med = lat[len(lat)/2]
-	p99 = lat[len(lat)*99/100]
-	p9999 = lat[len(lat)*9999/10000]
-	max = lat[len(lat)-1]
-	if w, ok := smr.(interface{ SlowPaths() uint64 }); ok {
-		slow = w.SlowPaths()
-	}
-	if w, ok := smr.(interface{ MaxSteps() uint64 }); ok {
-		steps = w.MaxSteps()
-	}
-	return med, p99, p9999, max, steps, slow
+	return lat[len(lat)/2], lat[len(lat)*99/100], lat[len(lat)*9999/10000],
+		lat[len(lat)-1], d.Telemetry()
 }

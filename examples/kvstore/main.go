@@ -1,7 +1,8 @@
-// A concurrent key-value store on the lock-free hash map, with the
+// A concurrent key-value store on the public lock-free Map, with the
 // reclamation scheme chosen at the command line — the "universal" in
 // universal memory reclamation: the same data structure code runs under
-// WFE, Hazard Eras, Hazard Pointers, EBR, 2GEIBR or the leaky baseline.
+// WFE, Hazard Eras, Hazard Pointers, EBR, 2GEIBR or the leaky baseline,
+// selected by a wfe.SchemeKind.
 //
 // The program runs a mixed workload while a reporter goroutine samples the
 // reclamation backlog, making the schemes' memory behaviour visible live
@@ -17,19 +18,17 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"wfe/internal/ds/hashmap"
-	"wfe/internal/mem"
-	"wfe/internal/reclaim"
-	"wfe/internal/schemes"
+	"wfe"
 )
 
 func main() {
 	var (
-		schemeName = flag.String("scheme", "WFE", "reclamation scheme (WFE, HE, HP, EBR, 2GEIBR, Leak)")
+		schemeName = flag.String("scheme", "WFE", "reclamation scheme (WFE, HE, HP, EBR, 2GEIBR, Leak, WFE-IBR)")
 		workers    = flag.Int("workers", 6, "worker goroutines")
 		duration   = flag.Duration("duration", 3*time.Second, "run time")
 		keyRange   = flag.Uint64("keyrange", 100000, "key range")
@@ -37,17 +36,25 @@ func main() {
 	)
 	flag.Parse()
 
+	kind, err := wfe.ParseScheme(*schemeName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	capacity := 1 << 20
-	if *schemeName == "Leak" {
+	if kind == wfe.Leak {
 		capacity = 1 << 23
 	}
-	arena := mem.New(mem.Config{Capacity: capacity, MaxThreads: *workers, Debug: false})
-	smr, err := schemes.New(*schemeName, arena, reclaim.Config{MaxThreads: *workers})
+	d, err := wfe.NewDomain[uint64](wfe.Options{
+		Scheme:    kind,
+		Capacity:  capacity,
+		MaxGuards: *workers,
+	})
 	if err != nil {
-		fmt.Println(err)
-		return
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	store := hashmap.New(smr, int(*keyRange))
+	store := wfe.NewMap[uint64](d, int(*keyRange))
 
 	var (
 		stop sync.WaitGroup
@@ -56,27 +63,29 @@ func main() {
 	)
 	for w := 0; w < *workers; w++ {
 		stop.Add(1)
-		go func(tid int) {
+		go func(w int) {
 			defer stop.Done()
-			if *stall && tid == 0 {
+			g := d.Guard()
+			defer g.Release()
+			if *stall && w == 0 {
 				// A reader that never finishes its operation.
-				smr.Begin(tid)
+				g.Begin()
 				for !quit.Load() {
 					time.Sleep(time.Millisecond)
 				}
-				smr.Clear(tid)
+				g.End()
 				return
 			}
-			rng := rand.New(rand.NewSource(int64(tid) + 99))
+			rng := rand.New(rand.NewSource(int64(w) + 99))
 			for !quit.Load() {
 				key := uint64(rng.Int63n(int64(*keyRange)))
 				switch rng.Intn(10) {
 				case 0, 1, 2:
-					store.Put(tid, key, key*2)
+					store.Put(g, key, key*2)
 				case 3:
-					store.Delete(tid, key)
+					store.Delete(g, key)
 				default:
-					store.Get(tid, key)
+					store.Get(g, key)
 				}
 				ops.Add(1)
 			}
@@ -91,10 +100,10 @@ loop:
 	for {
 		select {
 		case <-ticker.C:
-			st := arena.Stats()
+			t := d.Telemetry()
 			fmt.Printf("%-8s %12d %14d %12d\n",
 				time.Since(start).Round(100*time.Millisecond),
-				ops.Load(), smr.Unreclaimed(), st.InUse)
+				ops.Load(), t.Unreclaimed, t.InUse)
 		case <-deadline:
 			break loop
 		}
@@ -103,8 +112,8 @@ loop:
 	stop.Wait()
 	ticker.Stop()
 
-	st := arena.Stats()
+	t := d.Telemetry()
 	fmt.Printf("\n%s: %.2f Mops/s, final backlog %d, arena in use %d/%d\n",
-		smr.Name(), float64(ops.Load())/time.Since(start).Seconds()/1e6,
-		smr.Unreclaimed(), st.InUse, arena.Capacity())
+		t.Scheme, float64(ops.Load())/time.Since(start).Seconds()/1e6,
+		t.Unreclaimed, t.InUse, t.Capacity)
 }

@@ -1,12 +1,14 @@
 // Quickstart: the paper's usage example (Figure 2) — Treiber's lock-free
-// stack managed by Wait-Free Eras.
+// stack managed by Wait-Free Eras, on the public Domain API.
 //
-// It shows the whole reclamation API surface in one sitting:
+// It shows the whole public surface in one sitting:
 //
-//   - build an arena (the manual-memory substrate) and a WFE scheme on it,
-//   - Push allocates blocks via the scheme (stamping their alloc era),
-//   - Pop protects the top block with GetProtected before dereferencing,
-//     retires it after unlinking, and Clear drops the reservations,
+//   - build a Domain (typed arena + reclamation scheme in one object),
+//   - acquire one Guard per goroutine — the per-thread handle every
+//     allocation, protected read and retirement goes through,
+//   - Push allocates blocks via the Guard (stamping their alloc era),
+//     Pop protects the top block before dereferencing and retires it
+//     after unlinking,
 //   - freed blocks are recycled: the arena census stays flat no matter how
 //     many operations run.
 //
@@ -19,32 +21,39 @@ import (
 	"fmt"
 	"sync"
 
-	"wfe/internal/core"
-	"wfe/internal/ds/stack"
-	"wfe/internal/mem"
-	"wfe/internal/reclaim"
+	"wfe"
 )
 
 func main() {
 	const workers = 4
 
 	// The arena bounds memory: 4096 node slots serve millions of operations
-	// because WFE recycles retired nodes promptly.
-	arena := mem.New(mem.Config{Capacity: 4096, MaxThreads: workers, Debug: true})
-	wfe := core.New(arena, reclaim.Config{MaxThreads: workers})
-	s := stack.New(wfe)
+	// because WFE recycles retired nodes promptly. Debug mode turns any
+	// use-after-free into a panic.
+	d, err := wfe.NewDomain[uint64](wfe.Options{
+		Scheme:    wfe.WFE,
+		Capacity:  4096,
+		MaxGuards: workers,
+		Debug:     true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	s := wfe.NewStack[uint64](d)
 
 	// Single-threaded taste: LIFO order.
-	s.Push(0, 1)
-	s.Push(0, 2)
-	s.Push(0, 3)
+	g := d.Guard()
+	s.Push(g, 1)
+	s.Push(g, 2)
+	s.Push(g, 3)
 	for {
-		v, ok := s.Pop(0)
+		v, ok := s.Pop(g)
 		if !ok {
 			break
 		}
 		fmt.Printf("popped %d\n", v)
 	}
+	g.Release()
 
 	// Concurrent churn: every worker pushes and pops 100k times. The debug
 	// arena would panic on any use-after-free; the slot census proves
@@ -52,20 +61,20 @@ func main() {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(tid int) {
+		go func(w int) {
 			defer wg.Done()
+			g := d.Guard()
+			defer g.Release()
 			for i := 0; i < 100_000; i++ {
-				s.Push(tid, uint64(tid)<<32|uint64(i))
-				if v, ok := s.Pop(tid); !ok || v == 0 && tid != 0 {
-					_ = v // values are checked by the stack tests; this is a demo
-				}
+				s.Push(g, uint64(w)<<32|uint64(i))
+				s.Pop(g)
 			}
 		}(w)
 	}
 	wg.Wait()
 
-	st := arena.Stats()
+	t := d.Telemetry()
 	fmt.Printf("\nafter %d ops: allocs=%d frees=%d live=%d (arena capacity %d)\n",
-		2*workers*100_000, st.Allocs, st.Frees, st.InUse, arena.Capacity())
-	fmt.Printf("global era advanced to %d; slow paths taken: %d\n", wfe.Era(), wfe.SlowPaths())
+		2*workers*100_000, t.Allocs, t.Frees, t.InUse, t.Capacity)
+	fmt.Printf("global era advanced to %d; slow paths taken: %d\n", t.Era, t.SlowPaths)
 }

@@ -1,12 +1,15 @@
-// The paper's headline application: the Kogan–Petrank wait-free queue with
-// fully wait-free memory reclamation.
+// Wait-free memory reclamation under an MPMC queue: a Michael–Scott queue
+// from the public API, running as a multi-producer multi-consumer pipeline
+// with WFE managing every node.
 //
-// The original KP queue (PPoPP 2011) assumed a garbage collector; bolting
-// lock-free reclamation (Hazard Pointers, epochs) onto it forfeits the
-// queue's wait-freedom. With WFE every reclamation operation is bounded, so
-// the queue is wait-free end to end — this program runs it as a
-// multi-producer multi-consumer pipeline and verifies exactly-once delivery
-// while printing the reclamation census.
+// Bolting lock-free reclamation (Hazard Eras, epochs) onto a queue gives
+// reads unbounded retry loops and lets one stalled consumer hold back every
+// retired node. With WFE each reclamation operation is bounded (paper
+// Theorem 1) and a stalled guard delays at most a bounded set of blocks.
+// This program verifies exactly-once delivery while printing the
+// reclamation census. (The paper's fully wait-free Kogan–Petrank and CRTurn
+// queues live in internal/ds as the benchmark substrate; swap them in with
+// cmd/wfebench -figure 5a.)
 //
 // Run with:
 //
@@ -18,10 +21,7 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"wfe/internal/core"
-	"wfe/internal/ds/kpqueue"
-	"wfe/internal/mem"
-	"wfe/internal/reclaim"
+	"wfe"
 )
 
 func main() {
@@ -30,27 +30,35 @@ func main() {
 		consumers = 3
 		perProd   = 200_000
 	)
-	threads := producers + consumers
 
-	arena := mem.New(mem.Config{Capacity: 1 << 20, MaxThreads: threads, Debug: true})
-	wfe := core.New(arena, reclaim.Config{MaxThreads: threads})
-	q := kpqueue.New(wfe, threads)
+	d, err := wfe.NewDomain[uint64](wfe.Options{
+		Scheme:    wfe.WFE,
+		Capacity:  1 << 20,
+		MaxGuards: producers + consumers + 1, // +1 for the queue's sentinel allocation
+		Debug:     true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	q := wfe.NewQueue[uint64](d)
 
 	var (
 		wg        sync.WaitGroup
 		delivered atomic.Uint64
-		checksum  atomic.Uint64 // xor of everything dequeued
-		produced  atomic.Uint64 // xor of everything enqueued
+		checksum  atomic.Uint64 // sum of everything dequeued
+		produced  atomic.Uint64 // sum of everything enqueued
 		done      atomic.Bool
 	)
 
 	for p := 0; p < producers; p++ {
 		wg.Add(1)
-		go func(tid int) {
+		go func(p int) {
 			defer wg.Done()
+			g := d.Guard()
+			defer g.Release()
 			for i := uint64(0); i < perProd; i++ {
-				v := uint64(tid)<<32 | i
-				q.Enqueue(tid, v)
+				v := uint64(p)<<32 | i
+				q.Enqueue(g, v)
 				produced.Add(v) // commutative sum as a cheap checksum
 			}
 		}(p)
@@ -59,14 +67,16 @@ func main() {
 	var consumerWG sync.WaitGroup
 	for c := 0; c < consumers; c++ {
 		consumerWG.Add(1)
-		go func(tid int) {
+		go func() {
 			defer consumerWG.Done()
+			g := d.Guard()
+			defer g.Release()
 			for {
-				v, ok := q.Dequeue(tid)
+				v, ok := q.Dequeue(g)
 				if !ok {
 					if done.Load() {
 						// Confirm emptiness once more after the flag.
-						if v, ok := q.Dequeue(tid); ok {
+						if v, ok := q.Dequeue(g); ok {
 							checksum.Add(v)
 							delivered.Add(1)
 							continue
@@ -78,7 +88,7 @@ func main() {
 				checksum.Add(v)
 				delivered.Add(1)
 			}
-		}(producers + c)
+		}()
 	}
 
 	wg.Wait()
@@ -90,9 +100,9 @@ func main() {
 		panic("delivery mismatch: queue lost or duplicated values")
 	}
 
-	st := arena.Stats()
+	t := d.Telemetry()
 	fmt.Printf("arena: allocs=%d frees=%d live=%d — every dequeued node was reclaimed wait-free\n",
-		st.Allocs, st.Frees, st.InUse)
+		t.Allocs, t.Frees, t.InUse)
 	fmt.Printf("unreclaimed backlog now: %d blocks; WFE slow paths: %d; era: %d\n",
-		wfe.Unreclaimed(), wfe.SlowPaths(), wfe.Era())
+		t.Unreclaimed, t.SlowPaths, t.Era)
 }

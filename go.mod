@@ -1,0 +1,3 @@
+module wfe
+
+go 1.22

@@ -214,7 +214,12 @@ func arenaCapacity(exp Experiment, scheme string, opt Options, threads int) int 
 	if scheme == "Leak" {
 		return 1 << 22
 	}
-	capacity := 4*opt.Prefill + threads*4096 + 1<<14
+	// The flat headroom term absorbs the retired-but-not-yet-freed backlog
+	// of the epoch- and interval-based schemes, which can spike past 100K
+	// blocks when a worker is descheduled mid-epoch on a loaded machine —
+	// undersizing here shows up as flaky Exhausted results, not as a
+	// measurement.
+	capacity := 4*opt.Prefill + threads*4096 + 1<<18
 	return capacity
 }
 

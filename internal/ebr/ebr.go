@@ -6,6 +6,11 @@
 // blocking: one stalled active thread halts the epoch and memory grows
 // without bound (the paper's motivation for bounded schemes; ablation A4
 // reproduces this failure mode).
+//
+// Paper mapping: §2.2's discussion of EBR's blocking reclamation and the
+// "EBR" series of the evaluation figures (§5). The paper's Table 1 places
+// EBR at the opposite corner from WFE: cheapest reads, weakest memory
+// bound.
 package ebr
 
 import (

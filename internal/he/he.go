@@ -2,6 +2,12 @@
 // lock-free scheme WFE extends, exactly as reproduced in the paper's
 // Figure 1 — including the retire() race fix the paper mentions applying
 // (re-reading the global era before deciding to advance it).
+//
+// Paper mapping: Figure 1 (§2.3) line for line — get_protected's
+// stabilisation loop, retire's era stamping, and cleanup's reservation
+// scan. The unbounded get_protected loop here is the paper's motivating
+// problem; its per-thread worst case is observable through MaxSteps, and
+// examples/boundedsteps turns the difference into a latency table.
 package he
 
 import (

@@ -3,6 +3,12 @@
 // that the source location still holds it. Reclamation scans gather all
 // published handles and free retired blocks not among them.
 //
+// Paper mapping: hazard pointers are the baseline API the paper
+// standardises on (§2.1) and the "HP" series of every evaluation figure
+// (§5). Like Hazard Eras, the protect loop is only lock-free — the
+// re-validation retries for as long as writers keep swinging the source
+// location — which is the progress gap WFE closes.
+//
 // Reservations here hold link values with mark bits stripped: protection is
 // per block, independent of the logical-deletion bits a link may carry.
 package hp

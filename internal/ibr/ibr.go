@@ -8,6 +8,11 @@
 // Like Hazard Eras, the upper-bound refresh loop in GetProtected is
 // lock-free, not wait-free; the paper notes WFE's construction applies to
 // 2GEIBR as well.
+//
+// Paper mapping: §2.4's description of interval-based reclamation and the
+// "2GEIBR" series of the evaluation figures (§5); the remark that "our
+// approach is applicable to the 2GEIBR version" is implemented in
+// internal/wfeibr.
 package ibr
 
 import (

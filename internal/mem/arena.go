@@ -13,6 +13,12 @@
 //
 // A Handle is a 24-bit slot reference; 0 is the nil handle. Handles embed in
 // the 26-bit link values defined by the pack package.
+//
+// Paper mapping: the arena plays the role of the paper's allocator and
+// per-block headers in one — alloc_era and retire_era (Figure 3's block
+// fields, stamped by §3's alloc_block and retire) live in the slot, and
+// Free is the free_block the cleanup routines of every scheme call once a
+// retired block's lifespan overlaps no reservation.
 package mem
 
 import (
@@ -80,12 +86,13 @@ type Config struct {
 // Arena is a bounded slab of slots with per-thread free lists, a global
 // spill list, and a bump allocator for never-used slots.
 type Arena struct {
-	slots   []slot
-	bump    atomic.Uint64 // next never-allocated slot index
-	global  atomic.Uint64 // packed {stamp:40 | handle:24} Treiber free-list head
-	threads []threadMem
-	cap     uint64
-	debug   bool
+	slots    []slot
+	bump     atomic.Uint64 // next never-allocated slot index
+	global   atomic.Uint64 // packed {stamp:40 | handle:24} Treiber free-list head
+	threads  []threadMem
+	cap      uint64
+	debug    bool
+	freeHook func(h Handle)
 }
 
 // New creates an arena. It panics on an invalid configuration: the arena is
@@ -104,6 +111,13 @@ func New(cfg Config) *Arena {
 		debug:   cfg.Debug,
 	}
 }
+
+// SetFreeHook registers fn to run for every slot handed back by Free,
+// before the slot joins a free list. Callers that keep per-slot payloads
+// outside the arena (the public Domain's value slab) use it to drop those
+// payloads when the block dies, so freed values do not linger as GC roots.
+// Register once, before any concurrent use; fn runs on the freeing thread.
+func (a *Arena) SetFreeHook(fn func(h Handle)) { a.freeHook = fn }
 
 // Capacity returns the number of slots.
 func (a *Arena) Capacity() int { return int(a.cap) }
@@ -169,6 +183,9 @@ func (a *Arena) Free(tid int, h Handle) {
 		}
 		s.val.Store(poison)
 	}
+	if a.freeHook != nil {
+		a.freeHook(h)
+	}
 	s.version.Add(1)
 	s.state.Store(slotFree)
 	t := &a.threads[tid]
@@ -221,6 +238,12 @@ func (a *Arena) check(h Handle, op string) {
 		}
 	}
 }
+
+// CheckLive panics in debug mode when h is invalid or refers to a freed
+// slot; it is a no-op otherwise. Callers that keep per-slot payloads
+// outside the arena (the public Domain's value slab) use it to extend
+// use-after-free detection to those payloads.
+func (a *Arena) CheckLive(h Handle, op string) { a.check(h, op) }
 
 // AllocEra returns the slot's allocation era (paper: alloc_era).
 func (a *Arena) AllocEra(h Handle) uint64 {

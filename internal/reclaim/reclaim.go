@@ -74,6 +74,13 @@ type Config struct {
 }
 
 // Defaults fills unset fields with the paper's evaluation parameters.
+//
+// Invariant: the zero-value defaults below are the §5 methodology values —
+// max_hes = 8 reservations, ν = 150 allocations per era increment, a
+// retire-list scan every 30 retirements, and 16 fast-path attempts before
+// WFE requests helping. Benchmarks that reproduce paper figures rely on
+// these exact numbers; change them only together with the harness and the
+// README's figure documentation.
 func (c Config) Defaults() Config {
 	if c.MaxThreads == 0 {
 		c.MaxThreads = 8
@@ -101,13 +108,18 @@ type RetireList struct {
 	length atomic.Int64
 }
 
-// Append adds a retired block.
+// Append adds a retired block. Single-writer contract: only the goroutine
+// owning the list's tid may call it — Blocks is mutated without
+// synchronisation, and only the length is published for cross-thread
+// readers (Len).
 func (r *RetireList) Append(h mem.Handle) {
 	r.Blocks = append(r.Blocks, h)
 	r.length.Store(int64(len(r.Blocks)))
 }
 
-// SetBlocks replaces the block list after a cleanup scan.
+// SetBlocks replaces the block list after a cleanup scan. Like Append it is
+// single-writer: only the owning thread may call it, concurrently with any
+// number of Len calls but never with another Append/SetBlocks.
 func (r *RetireList) SetBlocks(b []mem.Handle) {
 	r.Blocks = b
 	r.length.Store(int64(len(b)))

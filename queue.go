@@ -1,0 +1,98 @@
+package wfe
+
+// queue node layout: word 0 = next link.
+const queueNext = 0
+
+// queue protection slots: dequeue protects head then next; enqueue reuses
+// slot 0 for the tail.
+const (
+	queueSlotFirst = 0
+	queueSlotNext  = 1
+	queueSlotLast  = 0
+)
+
+// Queue is a Michael–Scott lock-free MPMC FIFO queue of T on the typed
+// Domain façade. It needs 2 protection slots per guard.
+type Queue[T any] struct {
+	d    *Domain[T]
+	head Atomic[T]
+	tail Atomic[T]
+}
+
+// NewQueue creates an empty queue on the Domain. It acquires (and
+// releases) a temporary guard to allocate the sentinel node, so one guard
+// must be free.
+func NewQueue[T any](d *Domain[T]) *Queue[T] {
+	q := &Queue[T]{d: d}
+	g := d.Guard()
+	defer g.Release()
+	var zero T
+	s := g.Alloc(zero)
+	q.head.Store(s)
+	q.tail.Store(s)
+	return q
+}
+
+// Enqueue appends v.
+func (q *Queue[T]) Enqueue(g *Guard[T], v T) {
+	g.Begin()
+	defer g.End()
+	node := g.Alloc(v)
+	for {
+		last := g.Protect(&q.tail, queueSlotLast)
+		next := g.Load(last, queueNext)
+		if q.tail.Load() != last {
+			continue
+		}
+		if !next.IsNil() { // tail lagging: help advance
+			q.tail.CompareAndSwap(last, next)
+			continue
+		}
+		if g.CompareAndSwap(last, queueNext, Ref[T]{}, node) {
+			q.tail.CompareAndSwap(last, node)
+			return
+		}
+	}
+}
+
+// Dequeue removes and returns the oldest value; ok is false when empty.
+func (q *Queue[T]) Dequeue(g *Guard[T]) (v T, ok bool) {
+	g.Begin()
+	defer g.End()
+	for {
+		first := g.Protect(&q.head, queueSlotFirst)
+		last := q.tail.Load()
+		next := g.ProtectWord(first, queueNext, queueSlotNext)
+		if q.head.Load() != first {
+			continue
+		}
+		if first == last {
+			if next.IsNil() {
+				return v, false
+			}
+			q.tail.CompareAndSwap(last, next) // tail lagging
+			continue
+		}
+		if next.IsNil() {
+			continue // stale snapshot
+		}
+		// Read the value before unlinking: next is still reachable from
+		// head, so it is not retired and our protection covers it.
+		v = g.Value(next)
+		if q.head.CompareAndSwap(first, next) {
+			g.Retire(first)
+			return v, true
+		}
+	}
+}
+
+// Len counts queued values; meaningful only quiescently.
+func (q *Queue[T]) Len(g *Guard[T]) int {
+	n := 0
+	for r := q.head.Load(); !r.IsNil(); r = g.Load(r, queueNext) {
+		if !g.Load(r, queueNext).IsNil() {
+			n++
+		}
+	}
+	return n
+}

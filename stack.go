@@ -1,0 +1,58 @@
+package wfe
+
+// stack node layout: word 0 = next link.
+const stackNext = 0
+
+// Stack is a Treiber lock-free stack of T — the paper's usage example for
+// the reclamation API (Figure 2), here on the typed Domain façade. It
+// needs 1 protection slot per guard.
+type Stack[T any] struct {
+	d   *Domain[T]
+	top Atomic[T]
+}
+
+// NewStack creates an empty stack on the Domain.
+func NewStack[T any](d *Domain[T]) *Stack[T] {
+	return &Stack[T]{d: d}
+}
+
+// Push adds v to the top of the stack.
+func (s *Stack[T]) Push(g *Guard[T], v T) {
+	g.Begin()
+	defer g.End()
+	n := g.Alloc(v)
+	for {
+		old := s.top.Load()
+		g.Store(n, stackNext, old)
+		if s.top.CompareAndSwap(old, n) {
+			return
+		}
+	}
+}
+
+// Pop removes and returns the top value; ok is false on an empty stack.
+func (s *Stack[T]) Pop(g *Guard[T]) (v T, ok bool) {
+	g.Begin()
+	defer g.End()
+	for {
+		top := g.Protect(&s.top, 0)
+		if top.IsNil() {
+			return v, false
+		}
+		next := g.Load(top, stackNext)
+		if s.top.CompareAndSwap(top, next) {
+			v = g.Value(top)
+			g.Retire(top)
+			return v, true
+		}
+	}
+}
+
+// Len counts the nodes; it is only meaningful quiescently.
+func (s *Stack[T]) Len(g *Guard[T]) int {
+	n := 0
+	for r := s.top.Load(); !r.IsNil(); r = g.Load(r, stackNext) {
+		n++
+	}
+	return n
+}
