@@ -13,6 +13,11 @@
 // Ablations:
 //
 //	wfebench -ablation attempts|slowpath|erafreq|stall
+//
+// Guard-runtime overhead (the guardless API's lease cost per acquisition
+// path, with the guard-pool telemetry that explains it):
+//
+//	wfebench -ablation guards
 package main
 
 import (
@@ -170,6 +175,10 @@ func printFigure(exp bench.Experiment, results []bench.Result) {
 }
 
 func runAblation(name string, opt bench.Options, csv bool) {
+	if name == "guards" {
+		runGuardOverhead(opt, csv)
+		return
+	}
 	var results []bench.AblationResult
 	switch name {
 	case "attempts":
@@ -183,7 +192,7 @@ func runAblation(name string, opt bench.Options, csv bool) {
 	case "wfeibr":
 		results = bench.AblationWaitFreeIBR(opt)
 	default:
-		fatalf("unknown ablation %q (want attempts, slowpath, erafreq, stall, wfeibr)", name)
+		fatalf("unknown ablation %q (want attempts, slowpath, erafreq, stall, wfeibr, guards)", name)
 	}
 	if csv {
 		fmt.Println("ablation,param,scheme,ds,threads,mops,slow_per_mop,unreclaimed")
@@ -201,6 +210,35 @@ func runAblation(name string, opt bench.Options, csv bool) {
 		fmt.Printf("%-18s%-10s%-10s%8d%12.3f%16.2f%14.1f\n",
 			r.Param, r.Scheme, r.DS, r.Threads, r.Mops, r.SlowPerMop, r.Unreclaimed)
 	}
+}
+
+// runGuardOverhead renders the guard-runtime experiment: throughput per
+// acquisition path plus the guard-pool counters (acquisitions, lease-cache
+// hits/misses, park events) from the Domain's Telemetry.
+func runGuardOverhead(opt bench.Options, csv bool) {
+	results := bench.GuardOverhead(opt)
+	if csv {
+		fmt.Println("mode,goroutines,guards,mops,acquires,cache_hits,cache_misses,parks")
+		for _, r := range results {
+			t := r.Telemetry
+			fmt.Printf("%s,%d,%d,%.4f,%d,%d,%d,%d\n",
+				r.Mode, r.Goroutines, r.Guards, r.Mops,
+				t.GuardAcquires, t.GuardCacheHits, t.GuardCacheMisses, t.GuardParks)
+		}
+		return
+	}
+	fmt.Printf("\n=== Guard runtime overhead (WFE, stack push/pop) ===\n")
+	fmt.Printf("%-16s%12s%8s%12s%12s%12s%12s%8s\n",
+		"mode", "goroutines", "guards", "Mops/s", "acquires", "hits", "misses", "parks")
+	for _, r := range results {
+		t := r.Telemetry
+		fmt.Printf("%-16s%12d%8d%12.3f%12d%12d%12d%8d\n",
+			r.Mode, r.Goroutines, r.Guards, r.Mops,
+			t.GuardAcquires, t.GuardCacheHits, t.GuardCacheMisses, t.GuardParks)
+	}
+	fmt.Println("\npinned leases once per worker; guardless leases per operation (cache")
+	fmt.Println("hits); guardless-8x oversubscribes goroutines 8:1 over guards (parks);")
+	fmt.Println("acquire-per-op bypasses the lease cache — the cost caching removes.")
 }
 
 func fatalf(format string, args ...any) {

@@ -5,8 +5,15 @@
 // exercise robustness. Any reclamation bug panics with a use-after-free or
 // double-free diagnostic; a clean exit prints the op and arena census.
 //
+// The -churn mode stresses the guard runtime instead of one data
+// structure: it drives the public guardless API from 8x more goroutines
+// than the Domain has guards, with the debug arena armed, and asserts the
+// guard pool refills completely after the storm — a leaked lease or a
+// double-handed tid fails the run.
+//
 //	wfestress -ds hashmap -scheme WFE -forceslow -threads 8 -duration 5s
 //	wfestress -ds all -scheme all -duration 2s
+//	wfestress -churn -scheme all -duration 2s
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"wfe"
 	"wfe/internal/bench"
 	"wfe/internal/ds"
 	"wfe/internal/ds/bst"
@@ -42,6 +50,7 @@ func main() {
 		forceSlow = flag.Bool("forceslow", false, "force WFE's slow path on every GetProtected")
 		stall     = flag.Int("stall", 0, "number of reader threads to stall mid-operation")
 		eraFreq   = flag.Int("erafreq", 8, "era increment frequency (low values stress helping)")
+		churn     = flag.Bool("churn", false, "guard-runtime churn: 8x more goroutines than guards over the public guardless API")
 	)
 	flag.Parse()
 
@@ -55,6 +64,18 @@ func main() {
 	}
 
 	failed := false
+	if *churn {
+		for _, s := range scs {
+			if err := churnStress(s, *threads, *duration, *keyRange, *forceSlow, *eraFreq); err != nil {
+				fmt.Fprintf(os.Stderr, "FAIL churn    %-8s: %v\n", s, err)
+				failed = true
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+		return
+	}
 	for _, d := range dss {
 		for _, s := range scs {
 			if err := stress(d, s, *threads, *duration, *keyRange, *forceSlow, *stall, *eraFreq); err != nil {
@@ -66,6 +87,98 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// churnStress hammers the guard runtime: guards = threads, goroutines =
+// 8x that, every operation leasing a guard through the public guardless
+// API with the debug arena armed. After quiescing, the lease cache is
+// flushed and the pool must hold every tid again.
+func churnStress(schemeName string, threads int, duration time.Duration,
+	keyRange uint64, forceSlow bool, eraFreq int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+
+	name := schemeName
+	if name == "WFE-slow" {
+		name, forceSlow = "WFE", true
+	}
+	kind, err := wfe.ParseScheme(name)
+	if err != nil {
+		return err
+	}
+	capacity := 1 << 20
+	if kind == wfe.Leak {
+		capacity = 1 << 23
+	}
+	d, err := wfe.NewDomain[uint64](wfe.Options{
+		Scheme:        kind,
+		Capacity:      capacity,
+		MaxGuards:     threads,
+		EraFreq:       eraFreq,
+		CleanupFreq:   4,
+		ForceSlowPath: forceSlow,
+		Debug:         true,
+	})
+	if err != nil {
+		return err
+	}
+	st := wfe.NewStack[uint64](d)
+	m := wfe.NewMap[uint64](d, 64)
+
+	goroutines := 8 * threads
+	var (
+		stop atomic.Bool
+		ops  atomic.Uint64
+		wg   sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)*7717 + 3))
+			for !stop.Load() {
+				key := uint64(rng.Int63n(int64(keyRange)))
+				switch rng.Intn(6) {
+				case 0:
+					st.Push(key)
+				case 1:
+					st.Pop()
+				case 2:
+					m.Put(key, key)
+				case 3:
+					m.Delete(key)
+				case 4:
+					m.Get(key)
+				default: // a short pinned batch mixed into the churn
+					g := d.Pin()
+					m.InsertGuarded(g, key, key)
+					m.DeleteGuarded(g, key)
+					d.Unpin(g)
+				}
+				ops.Add(1)
+			}
+		}(w)
+	}
+	time.Sleep(duration)
+	stop.Store(true)
+	wg.Wait()
+
+	if stranded := d.FlushGuardCache(); stranded != 0 {
+		return fmt.Errorf("%d guards stranded in the lease cache after flush", stranded)
+	}
+	tel := d.Telemetry()
+	if tel.GuardsFree != threads {
+		return fmt.Errorf("guard leak: %d/%d tids back on the freelist", tel.GuardsFree, threads)
+	}
+	fmt.Printf("PASS churn    %-8s: %d ops, %d goroutines over %d guards, %d acquires, %d cache hits, %d parks, %d live blocks in %v\n",
+		schemeName, ops.Load(), goroutines, threads,
+		tel.GuardAcquires, tel.GuardCacheHits, tel.GuardParks, tel.InUse,
+		time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 func stress(dsName, schemeName string, threads int, duration time.Duration,

@@ -23,31 +23,39 @@
 //   - Stack[T], Queue[T], Map[T] — Treiber stack, Michael–Scott queue and
 //     Michael's hash map, pre-built on the Domain primitives.
 //
+// The guard runtime decouples goroutines from the paper's fixed thread
+// slots: the structures' plain methods are guardless (each operation
+// leases a slot from a lock-free pool, parking when all are held),
+// Domain.Pin/Unpin amortize that lease over a batch, and
+// Domain.Guard/TryGuard/AcquireGuard hand out explicit Guards for fixed
+// worker sets. See the Guard type's documentation for the full picture.
+//
 // See ExampleDomain for the quickstart and ExampleGuard for building a
 // custom structure on the primitives.
 //
 // # Layout
 //
-//	domain.go         Domain[T], Guard, Ref[T], Atomic[T], SchemeKind
-//	stack.go          public Treiber stack
-//	queue.go          public Michael–Scott queue
-//	map.go            public lock-free hash map
-//	internal/core     WFE, the paper's contribution (Figure 4)
-//	internal/he       Hazard Eras (Figure 1)
-//	internal/hp       Hazard Pointers
-//	internal/ebr      epoch-based reclamation
-//	internal/ibr      2GEIBR interval-based reclamation
-//	internal/leak     leaky baseline
-//	internal/mem      manual-memory arena substrate
-//	internal/pack     64-bit packing emulating the paper's wide CAS
-//	internal/reclaim  the shared SMR interface and configuration
-//	internal/ds/...   Treiber stack, Harris–Michael list, Michael hash map,
-//	                  Natarajan–Mittal BST, Kogan–Petrank and CRTurn queues
-//	internal/bench    workload generator and per-figure experiment runner
-//	cmd/wfebench      regenerates Figures 5–11 and the ablations
-//	cmd/wfestress     correctness stress tool (forced slow path, stalls)
-//	cmd/wfelat        per-operation latency comparison of the queues
-//	examples/...      runnable walkthroughs of the public API
+//	domain.go           Domain[T], Guard, Ref[T], Atomic[T], SchemeKind
+//	stack.go            public Treiber stack
+//	queue.go            public Michael–Scott queue
+//	map.go              public lock-free hash map
+//	internal/core       WFE, the paper's contribution (Figure 4)
+//	internal/he         Hazard Eras (Figure 1)
+//	internal/hp         Hazard Pointers
+//	internal/ebr        epoch-based reclamation
+//	internal/ibr        2GEIBR interval-based reclamation
+//	internal/leak       leaky baseline
+//	internal/mem        manual-memory arena substrate
+//	internal/pack       64-bit packing emulating the paper's wide CAS
+//	internal/reclaim    the shared SMR interface and configuration
+//	internal/guardpool  lock-free tid freelist + parking (the guard runtime)
+//	internal/ds/...     Treiber stack, Harris–Michael list, Michael hash map,
+//	                    Natarajan–Mittal BST, Kogan–Petrank and CRTurn queues
+//	internal/bench      workload generator and per-figure experiment runner
+//	cmd/wfebench        regenerates Figures 5–11 and the ablations
+//	cmd/wfestress       correctness stress tool (forced slow path, stalls)
+//	cmd/wfelat          per-operation latency comparison of the queues
+//	examples/...        runnable walkthroughs of the public API
 //
 // The internal/ds structures speak the internal reclaim.Scheme interface
 // directly and remain the benchmark substrate; the public Stack, Queue and

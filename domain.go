@@ -1,11 +1,13 @@
 package wfe
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"wfe/internal/guardpool"
 	"wfe/internal/mem"
 	"wfe/internal/pack"
 	"wfe/internal/reclaim"
@@ -123,15 +125,18 @@ type Options struct {
 // Guards belong to exactly one Domain; mixing Domains is a programming
 // error (caught in Debug mode when handles go out of range).
 //
-// A Domain is the public face of the paper's reclamation API: goroutines
-// acquire a Guard, and every allocation, protected read and retirement goes
-// through it. Typical use:
+// A Domain is the public face of the paper's reclamation API. The built-in
+// Stack, Queue and Map lease guards from the Domain internally, so simple
+// use never touches a Guard:
 //
 //	d, _ := wfe.NewDomain[string](wfe.Options{Scheme: wfe.WFE})
-//	g := d.Guard()
-//	defer g.Release()
 //	s := wfe.NewStack[string](d)
-//	s.Push(g, "hello")
+//	s.Push("hello")
+//
+// Hot loops skip the per-operation lease by pinning a guard (Pin/Unpin) or
+// holding an explicit one (Guard/AcquireGuard + Release) and calling the
+// structures' Guarded method variants. See the "guard runtime" overview on
+// Guard for how the acquisition paths relate.
 type Domain[T any] struct {
 	smr   reclaim.Scheme
 	arena *mem.Arena
@@ -143,9 +148,35 @@ type Domain[T any] struct {
 	// dies, so dead values do not linger as GC roots.
 	vals []T
 
-	mu       sync.Mutex
-	freeTids []int
+	// guards hands out the MaxGuards tids lock-free. The lease cache above
+	// it holds acquired-but-idle Guards so guardless operations amortize
+	// pool traffic to nearly nothing. Ownership of a cached guard is
+	// authoritative in cache (a fixed registry of MaxGuards padded slots,
+	// claimed by CAS on the guard's state word); leases is only a per-P
+	// locality hint pointing at the same guards — sync.Pool may drop or
+	// strand entries at will without a tid ever becoming unreachable.
+	guards      *guardpool.Pool
+	leases      sync.Pool
+	cache       []cacheSlot[T]
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
 }
+
+// cacheSlot is one registry cell of the lease cache, padded so concurrent
+// Unpin/steal traffic on neighbouring slots does not false-share.
+type cacheSlot[T any] struct {
+	g atomic.Pointer[Guard[T]]
+	_ [56]byte
+}
+
+// Guard lease states (Guard.state): a guard is either in use by some
+// goroutine or parked in the lease cache. The cached→inuse CAS is what
+// decides which single claimant gets a cached guard, however many stale
+// pointers to it the sync.Pool holds.
+const (
+	guardInUse uint32 = iota
+	guardCached
+)
 
 // NewDomain creates a Domain with blocks carrying a value of type T.
 func NewDomain[T any](opts Options) (*Domain[T], error) {
@@ -175,14 +206,12 @@ func NewDomain[T any](opts Options) (*Domain[T], error) {
 		return nil, fmt.Errorf("wfe: %v", err)
 	}
 	d := &Domain[T]{
-		smr:      smr,
-		arena:    arena,
-		kind:     opts.Scheme,
-		vals:     make([]T, opts.Capacity),
-		freeTids: make([]int, opts.MaxGuards),
-	}
-	for i := range d.freeTids {
-		d.freeTids[i] = opts.MaxGuards - 1 - i // pop order: 0, 1, 2, ...
+		smr:    smr,
+		arena:  arena,
+		kind:   opts.Scheme,
+		vals:   make([]T, opts.Capacity),
+		guards: guardpool.New(opts.MaxGuards),
+		cache:  make([]cacheSlot[T], opts.MaxGuards),
 	}
 	// Drop a block's value the moment it is recycled: no reader can hold a
 	// freed block (that is the reclamation invariant), and without this a
@@ -198,34 +227,196 @@ func NewDomain[T any](opts Options) (*Domain[T], error) {
 func (d *Domain[T]) Scheme() SchemeKind { return d.kind }
 
 // Guard acquires one of the Domain's MaxGuards guard handles. It panics
-// when all are held: guard count is a sizing decision like arena capacity,
-// not a runtime condition. Use TryGuard to poll instead.
+// when all are held and none is cached: a panic here means a sizing bug —
+// more long-lived explicit guards than MaxGuards — not a runtime condition.
+// Use AcquireGuard to block until one frees, or TryGuard to poll.
 func (d *Domain[T]) Guard() *Guard[T] {
 	g, ok := d.TryGuard()
 	if !ok {
-		panic("wfe: all guards in use; raise Options.MaxGuards or Release an idle guard")
+		panic("wfe: all guards in use; raise Options.MaxGuards, Release an idle guard, or block with AcquireGuard")
 	}
 	return g
 }
 
-// TryGuard acquires a guard, reporting false when all are held.
+// TryGuard acquires a guard without blocking, reporting false when all are
+// held. The fast path is one lock-free CAS on the Domain's guard pool; an
+// idle guard parked in the lease cache counts as free and is claimed.
 func (d *Domain[T]) TryGuard() (*Guard[T], bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	n := len(d.freeTids)
-	if n == 0 {
-		return nil, false
+	if tid, ok := d.guards.TryAcquire(); ok {
+		return &Guard[T]{d: d, tid: tid, slot: -1}, true
 	}
-	tid := d.freeTids[n-1]
-	d.freeTids = d.freeTids[:n-1]
-	return &Guard[T]{d: d, tid: tid}, true
+	if g, ok := d.fromCache(); ok {
+		d.cacheHits.Add(1)
+		return g, true
+	}
+	return nil, false
+}
+
+// AcquireGuard acquires a guard, parking the calling goroutine until one is
+// released (or leased back) when all MaxGuards are held. It returns an
+// error only when ctx is done first. This is the acquisition path for
+// workloads where goroutines outnumber guards and churn — the panicking
+// Guard is for fixed worker sets sized at configuration time.
+func (d *Domain[T]) AcquireGuard(ctx context.Context) (*Guard[T], error) {
+	if g, ok := d.TryGuard(); ok {
+		return g, nil
+	}
+	tid, err := d.guards.Acquire(ctx, d.spareTid)
+	if err != nil {
+		return nil, err
+	}
+	return &Guard[T]{d: d, tid: tid, slot: -1}, nil
+}
+
+// spareTid lets a parked pool waiter claim an idle cached guard: without
+// it, guards stranded in the lease cache could starve a waiter forever.
+// The claimed guard object is retired (slot vacated, domain cleared) and
+// only its tid handed over; the waiter wraps it in a fresh Guard.
+func (d *Domain[T]) spareTid() (int, bool) {
+	g, ok := d.fromCache()
+	if !ok {
+		return 0, false
+	}
+	tid := g.tid
+	if g.slot >= 0 {
+		d.cache[g.slot].g.CompareAndSwap(g, nil)
+		g.slot = -1
+	}
+	g.d = nil
+	return tid, true
+}
+
+// fromCache claims an idle guard out of the lease cache. The sync.Pool is
+// consulted first for P-locality, but a pooled pointer is only a hint — the
+// claim itself is the cached→inuse CAS, and a hint that lost that race to
+// a registry steal is simply discarded. On a pool miss the registry is
+// scanned directly, so a guard cached by any P (or dropped by the pool
+// entirely) is always claimable.
+func (d *Domain[T]) fromCache() (*Guard[T], bool) {
+	for {
+		v := d.leases.Get()
+		if v == nil {
+			break
+		}
+		if g := v.(*Guard[T]); g.claim() {
+			return g, true
+		}
+		// Stale hint (already claimed and possibly re-cached elsewhere);
+		// drop it and try the next.
+	}
+	for i := range d.cache {
+		g := d.cache[i].g.Load()
+		if g != nil && g.claim() {
+			return g, true
+		}
+	}
+	return nil, false
+}
+
+// claim attempts the cached→inuse transition — the single CAS that
+// arbitrates ownership of a cached guard. The guard's registry slot keeps
+// pointing at it while it is in use (slots are sticky for the guard's
+// lifetime; Release vacates them), so claiming writes nothing but the
+// state word.
+func (g *Guard[T]) claim() bool {
+	return g.state.CompareAndSwap(guardCached, guardInUse)
+}
+
+// Pin leases a guard to the calling goroutine until Unpin: the cheap way
+// to hold a guard across a batch of operations. It is what every guardless
+// structure method uses per operation; pinning hoists that lease out of a
+// hot loop. The fast path is a per-P cache hit (no shared-memory
+// contention at all); a miss acquires from the pool, parking like
+// AcquireGuard if the Domain is exhausted.
+//
+// A pinned guard is a plain *Guard: use it with the Guarded method
+// variants, then return it with Unpin (not Release, which would bypass the
+// cache). Pin never fails — callers that need a timeout use AcquireGuard.
+func (d *Domain[T]) Pin() *Guard[T] {
+	if g, ok := d.fromCache(); ok {
+		d.cacheHits.Add(1)
+		return g
+	}
+	d.cacheMisses.Add(1)
+	// Try the pool directly before AcquireGuard: its TryGuard prelude
+	// would rescan the lease cache that just missed.
+	if tid, ok := d.guards.TryAcquire(); ok {
+		return &Guard[T]{d: d, tid: tid, slot: -1}
+	}
+	g, _ := d.AcquireGuard(context.Background()) // never errs: ctx has no deadline
+	return g
+}
+
+// Unpin returns a pinned guard to the Domain's lease cache, dropping any
+// protections it still holds (an implicit End) so an idle cached guard can
+// never block reclamation. The guard must not be used after Unpin.
+//
+// If acquirers are parked on an exhausted pool, Unpin releases the guard
+// to them instead of caching it — caching would strand the guard on this
+// P while they sleep.
+func (d *Domain[T]) Unpin(g *Guard[T]) {
+	g.End()
+	d.unpin(g)
+}
+
+// unpin is Unpin without the protection drop — the internal path for the
+// guardless wrappers, whose Guarded operation just ended with End.
+func (d *Domain[T]) unpin(g *Guard[T]) {
+	if d.guards.Waiters() > 0 {
+		g.Release()
+		return
+	}
+	if g.slot < 0 && !d.adoptSlot(g) {
+		g.Release() // unreachable with a correctly used Domain, but harmless
+		return
+	}
+	g.state.Store(guardCached)
+	d.leases.Put(g)
+}
+
+// adoptSlot assigns an unslotted guard a registry cell for the rest of
+// its life. One is always free when an unslotted guard exists: each of
+// the MaxGuards guards holds at most one cell, vacated on Release.
+func (d *Domain[T]) adoptSlot(g *Guard[T]) bool {
+	for i := range d.cache {
+		if d.cache[i].g.CompareAndSwap(nil, g) {
+			g.slot = int32(i)
+			return true
+		}
+	}
+	return false
+}
+
+// FlushGuardCache releases every guard the lease cache holds back to the
+// guard pool and returns the number of guards it could not recover —
+// always 0 when the Domain is quiescent. Call it with no concurrent
+// Pin/Unpin or guardless operations in flight (before asserting all
+// guards free in a test, or ahead of domain teardown).
+func (d *Domain[T]) FlushGuardCache() int {
+	stranded := 0
+	for i := range d.cache {
+		g := d.cache[i].g.Load()
+		if g == nil || g.state.Load() != guardCached {
+			// Empty, or a guard some goroutine claimed out of the cache
+			// and still holds (slots are sticky while a guard lives): the
+			// cache owns nothing here.
+			continue
+		}
+		if g.claim() {
+			g.Release()
+		} else {
+			stranded++ // claimed between our load and CAS: not quiescent
+		}
+	}
+	return stranded
 }
 
 // Unreclaimed reports the number of retired-but-not-yet-recycled blocks,
 // the paper's reclamation-speed metric. Approximate under concurrency.
 func (d *Domain[T]) Unreclaimed() int { return d.smr.Unreclaimed() }
 
-// Telemetry is a point-in-time census of a Domain's reclamation machinery.
+// Telemetry is a point-in-time census of a Domain's reclamation machinery
+// and its guard runtime.
 type Telemetry struct {
 	Scheme      string // scheme legend name
 	Era         uint64 // global era/epoch clock (0 for clock-less schemes)
@@ -236,12 +427,23 @@ type Telemetry struct {
 	Frees       uint64 // total blocks recycled
 	InUse       uint64 // Allocs - Frees
 	Capacity    int    // arena size in blocks
+
+	// Guard-runtime counters. A healthy guardless workload shows
+	// GuardCacheHits ≫ GuardCacheMisses and GuardParks near zero; parks
+	// climbing means MaxGuards is undersized for the goroutine count.
+	MaxGuards        int    // configured guard count
+	GuardsFree       int    // tids available to the pool (quiescently exact)
+	GuardAcquires    uint64 // guards handed out by the pool, however satisfied
+	GuardParks       uint64 // times an acquirer parked waiting for a free guard
+	GuardCacheHits   uint64 // guards claimed out of the lease cache
+	GuardCacheMisses uint64 // Pin/guardless ops that had to hit the pool
 }
 
 // Telemetry samples the Domain's counters. The snapshot is approximate
 // under concurrency, which is fine for its monitoring purpose.
 func (d *Domain[T]) Telemetry() Telemetry {
 	st := d.arena.Stats()
+	gp := d.guards.Stats()
 	t := Telemetry{
 		Scheme:      d.kind.String(),
 		Unreclaimed: d.smr.Unreclaimed(),
@@ -249,6 +451,13 @@ func (d *Domain[T]) Telemetry() Telemetry {
 		Frees:       st.Frees,
 		InUse:       st.InUse,
 		Capacity:    d.arena.Capacity(),
+
+		MaxGuards:        d.guards.Cap(),
+		GuardsFree:       d.guards.Free(),
+		GuardAcquires:    gp.Acquires,
+		GuardParks:       gp.Parks,
+		GuardCacheHits:   d.cacheHits.Load(),
+		GuardCacheMisses: d.cacheMisses.Load(),
 	}
 	if e, ok := d.smr.(interface{ Era() uint64 }); ok {
 		t.Era = e.Era()
@@ -305,32 +514,55 @@ func (a *Atomic[T]) CompareAndSwap(old, new Ref[T]) bool {
 // A Guard is one goroutine's handle on a Domain: it owns one of the
 // scheme's thread slots (the paper's tid) and with it the right to
 // allocate, protect and retire blocks. A Guard must be used by one
-// goroutine at a time; acquire with Domain.Guard, return with Release.
+// goroutine at a time.
+//
+// The guard runtime offers three acquisition paths, cheapest first:
+//
+//   - Guardless: call the structures' plain methods (Stack.Push, Map.Get,
+//     ...). Each operation leases a guard from the Domain's per-P cache
+//     and returns it — no Guard in sight, goroutines may outnumber
+//     MaxGuards arbitrarily, and exhaustion parks instead of failing.
+//   - Pinned: Domain.Pin / Domain.Unpin bracket a batch of Guarded-variant
+//     calls with one lease — the guardless path's cost, paid once per
+//     batch instead of once per operation.
+//   - Explicit: Domain.Guard (panics when exhausted — a sizing bug),
+//     Domain.TryGuard (polls), or Domain.AcquireGuard (parks, honours a
+//     context) paired with Release. For fixed worker sets and hot loops.
 //
 // A custom data structure built on Guards follows the paper's operation
 // shape: Begin, any number of Protect/Load/Store/CompareAndSwap/Retire
 // calls, then End. The built-in Stack, Queue and Map do this internally —
-// their callers only acquire the Guard.
+// their callers at most lease the Guard.
 type Guard[T any] struct {
 	d   *Domain[T]
 	tid int
+
+	// Lease-cache bookkeeping: state arbitrates who owns the guard while
+	// it idles in the cache, slot is its registry cell for that cycle.
+	state atomic.Uint32
+	slot  int32
 }
 
 // Domain returns the Domain this guard belongs to.
 func (g *Guard[T]) Domain() *Domain[T] { return g.d }
 
-// Release returns the guard to its Domain. The guard must not be used
-// afterwards. Release drops any protections the guard still holds (an
-// implicit End), so a guard abandoned mid-operation — a panic between
-// Begin and End, say — cannot block reclamation for the rest of the
-// Domain's life.
+// Release returns the guard to its Domain's pool, waking a parked
+// AcquireGuard if one is waiting. The guard must not be used afterwards.
+// Release drops any protections the guard still holds (an implicit End),
+// so a guard abandoned mid-operation — a panic between Begin and End, say
+// — cannot block reclamation for the rest of the Domain's life.
 func (g *Guard[T]) Release() {
 	d := g.d
+	if g.slot >= 0 {
+		// Vacate the guard's sticky lease-cache slot. Only the owner gets
+		// here (a cached guard must be claimed before Release), so the
+		// slot still points at g and no claimant can race the clear.
+		d.cache[g.slot].g.CompareAndSwap(g, nil)
+		g.slot = -1
+	}
 	d.smr.Clear(g.tid)
-	d.mu.Lock()
-	d.freeTids = append(d.freeTids, g.tid)
-	d.mu.Unlock()
 	g.d = nil // fail fast on use-after-Release
+	d.guards.Release(g.tid)
 }
 
 // Begin marks the start of a data-structure operation. Epoch- and

@@ -22,8 +22,8 @@ func TestFreedValuesDropped(t *testing.T) {
 	defer g.Release()
 	s := NewStack[string](d)
 	for i := 0; i < 2000; i++ {
-		s.Push(g, "payload")
-		s.Pop(g)
+		s.PushGuarded(g, "payload")
+		s.PopGuarded(g)
 	}
 
 	tel := d.Telemetry()

@@ -50,17 +50,17 @@ func TestStackConformance(t *testing.T) {
 		g := d.Guard()
 
 		// Sequential LIFO semantics.
-		if _, ok := s.Pop(g); ok {
+		if _, ok := s.PopGuarded(g); ok {
 			t.Fatal("pop from empty stack succeeded")
 		}
 		for v := uint64(1); v <= 100; v++ {
-			s.Push(g, v)
+			s.PushGuarded(g, v)
 		}
-		if n := s.Len(g); n != 100 {
+		if n := s.LenGuarded(g); n != 100 {
 			t.Fatalf("Len = %d, want 100", n)
 		}
 		for v := uint64(100); v >= 1; v-- {
-			got, ok := s.Pop(g)
+			got, ok := s.PopGuarded(g)
 			if !ok || got != v {
 				t.Fatalf("Pop = %d,%v, want %d,true", got, ok, v)
 			}
@@ -78,8 +78,8 @@ func TestStackConformance(t *testing.T) {
 				g := d.Guard()
 				defer g.Release()
 				for i := 0; i < perWorker; i++ {
-					s.Push(g, uint64(w*perWorker+i+1))
-					if v, ok := s.Pop(g); ok {
+					s.PushGuarded(g, uint64(w*perWorker+i+1))
+					if v, ok := s.PopGuarded(g); ok {
 						sums[w] += v
 					}
 				}
@@ -93,7 +93,7 @@ func TestStackConformance(t *testing.T) {
 			total += s
 		}
 		for {
-			v, ok := s.Pop(g)
+			v, ok := s.PopGuarded(g)
 			if !ok {
 				break
 			}
@@ -113,17 +113,17 @@ func TestQueueConformance(t *testing.T) {
 		g := d.Guard()
 
 		// Sequential FIFO semantics.
-		if _, ok := q.Dequeue(g); ok {
+		if _, ok := q.DequeueGuarded(g); ok {
 			t.Fatal("dequeue from empty queue succeeded")
 		}
 		for v := uint64(1); v <= 100; v++ {
-			q.Enqueue(g, v)
+			q.EnqueueGuarded(g, v)
 		}
-		if n := q.Len(g); n != 100 {
+		if n := q.LenGuarded(g); n != 100 {
 			t.Fatalf("Len = %d, want 100", n)
 		}
 		for v := uint64(1); v <= 100; v++ {
-			got, ok := q.Dequeue(g)
+			got, ok := q.DequeueGuarded(g)
 			if !ok || got != v {
 				t.Fatalf("Dequeue = %d,%v, want %d,true", got, ok, v)
 			}
@@ -144,7 +144,7 @@ func TestQueueConformance(t *testing.T) {
 				defer g.Release()
 				for i := 0; i < perProd; i++ {
 					v := uint64(p)<<32 | uint64(i+1)
-					q.Enqueue(g, v)
+					q.EnqueueGuarded(g, v)
 					produced[p] += v
 				}
 			}(p)
@@ -156,11 +156,11 @@ func TestQueueConformance(t *testing.T) {
 				g := d.Guard()
 				defer g.Release()
 				for {
-					v, ok := q.Dequeue(g)
+					v, ok := q.DequeueGuarded(g)
 					if !ok {
 						select {
 						case <-done:
-							if v, ok := q.Dequeue(g); ok { // drain after the flag
+							if v, ok := q.DequeueGuarded(g); ok { // drain after the flag
 								consumed[producers+c] += v
 								delivered[producers+c]++
 								continue
@@ -210,7 +210,7 @@ func TestMapConformance(t *testing.T) {
 			switch rng.Intn(4) {
 			case 0:
 				_, dup := model[key]
-				if got := m.Insert(g, key, key*10); got == dup {
+				if got := m.InsertGuarded(g, key, key*10); got == dup {
 					t.Fatalf("op %d: Insert(%d) = %v, model has key: %v", i, key, got, dup)
 				}
 				if !dup {
@@ -218,26 +218,26 @@ func TestMapConformance(t *testing.T) {
 				}
 			case 1:
 				_, want := model[key]
-				if got := m.Delete(g, key); got != want {
+				if got := m.DeleteGuarded(g, key); got != want {
 					t.Fatalf("op %d: Delete(%d) = %v, model says %v", i, key, got, want)
 				}
 				delete(model, key)
 			case 2:
 				wantV, want := model[key]
-				gotV, got := m.Get(g, key)
+				gotV, got := m.GetGuarded(g, key)
 				if got != want || (got && gotV != wantV) {
 					t.Fatalf("op %d: Get(%d) = %d,%v, model says %d,%v", i, key, gotV, got, wantV, want)
 				}
 			case 3:
-				m.Put(g, key, uint64(i))
+				m.PutGuarded(g, key, uint64(i))
 				model[key] = uint64(i)
 			}
 		}
-		if n := m.Len(g); n != len(model) {
+		if n := m.LenGuarded(g); n != len(model) {
 			t.Fatalf("Len = %d, model has %d keys", n, len(model))
 		}
 		for key := range model { // drain: the stress phase assumes an empty map
-			if !m.Delete(g, key) {
+			if !m.DeleteGuarded(g, key) {
 				t.Fatalf("drain: Delete(%d) failed", key)
 			}
 		}
@@ -261,15 +261,15 @@ func TestMapConformance(t *testing.T) {
 					key := uint64(rng.Intn(keyRange))
 					switch rng.Intn(3) {
 					case 0:
-						if m.Insert(g, key, key) {
+						if m.InsertGuarded(g, key, key) {
 							c.ins[key]++
 						}
 					case 1:
-						if m.Delete(g, key) {
+						if m.DeleteGuarded(g, key) {
 							c.del[key]++
 						}
 					case 2:
-						m.Get(g, key)
+						m.GetGuarded(g, key)
 					}
 				}
 			}(w)
@@ -288,7 +288,7 @@ func TestMapConformance(t *testing.T) {
 			if net != 0 && net != 1 {
 				t.Fatalf("key %d net count %d (ins=%d del=%d)", key, net, ins, del)
 			}
-			if _, got := m.Get(g, key); got != (net == 1) {
+			if _, got := m.GetGuarded(g, key); got != (net == 1) {
 				t.Fatalf("key %d present=%v but net=%d", key, got, net)
 			}
 		}
@@ -309,8 +309,8 @@ func TestValueTypes(t *testing.T) {
 	g := d.Guard()
 	defer g.Release()
 	s := wfe.NewStack[payload](d)
-	s.Push(g, payload{name: "x", data: []byte{1, 2, 3}})
-	got, ok := s.Pop(g)
+	s.PushGuarded(g, payload{name: "x", data: []byte{1, 2, 3}})
+	got, ok := s.PopGuarded(g)
 	if !ok || got.name != "x" || len(got.data) != 3 {
 		t.Fatalf("Pop = %+v,%v", got, ok)
 	}
@@ -360,8 +360,8 @@ func TestReleaseDropsProtections(t *testing.T) {
 	leaker.Release()
 	const churn = 5000
 	for i := uint64(0); i < churn; i++ {
-		s.Push(g, i)
-		s.Pop(g)
+		s.PushGuarded(g, i)
+		s.PopGuarded(g)
 	}
 	if backlog := d.Unreclaimed(); backlog > churn/2 {
 		t.Fatalf("backlog %d after %d retires: released guard still blocks the epoch", backlog, churn)
@@ -388,8 +388,8 @@ func TestTelemetry(t *testing.T) {
 	defer g.Release()
 	s := wfe.NewStack[uint64](d)
 	for i := uint64(0); i < 200; i++ {
-		s.Push(g, i)
-		s.Pop(g)
+		s.PushGuarded(g, i)
+		s.PopGuarded(g)
 	}
 	tel := d.Telemetry()
 	if tel.Scheme != "WFE" {

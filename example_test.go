@@ -1,34 +1,33 @@
 package wfe_test
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"wfe"
 )
 
-// ExampleDomain shows the whole public API in one sitting: build a Domain
-// over a reclamation scheme, acquire a Guard per goroutine, and run typed
-// structures on it. Swapping wfe.WFE for any other SchemeKind changes the
+// ExampleDomain shows the simplest use of the public API: build a Domain
+// over a reclamation scheme and call the structures' guardless methods —
+// the guard runtime leases reclamation slots per operation, so no Guard
+// appears at all. Swapping wfe.WFE for any other SchemeKind changes the
 // reclamation algorithm, not a line of data-structure code — the
 // "universal" in universal memory reclamation.
 func ExampleDomain() {
 	d, err := wfe.NewDomain[string](wfe.Options{
-		Scheme:    wfe.WFE, // or HE, HP, EBR, TwoGEIBR, Leak, WFEIBR
-		Capacity:  1024,    // blocks in the arena
-		MaxGuards: 2,
+		Scheme:   wfe.WFE, // or HE, HP, EBR, TwoGEIBR, Leak, WFEIBR
+		Capacity: 1024,    // blocks in the arena
 	})
 	if err != nil {
 		panic(err)
 	}
 
-	g := d.Guard() // one per goroutine
-	defer g.Release()
-
 	s := wfe.NewStack[string](d)
-	s.Push(g, "world")
-	s.Push(g, "hello")
+	s.Push("world")
+	s.Push("hello")
 	for {
-		v, ok := s.Pop(g)
+		v, ok := s.Pop()
 		if !ok {
 			break
 		}
@@ -36,8 +35,8 @@ func ExampleDomain() {
 	}
 
 	m := wfe.NewMap[string](d, 16)
-	m.Put(g, 42, "answer")
-	if v, ok := m.Get(g, 42); ok {
+	m.Put(42, "answer")
+	if v, ok := m.Get(42); ok {
 		fmt.Println(v)
 	}
 
@@ -47,6 +46,115 @@ func ExampleDomain() {
 	// world
 	// answer
 	// unreclaimed: true
+}
+
+// ExampleStack: the guardless stack methods are safe from any number of
+// goroutines — far more than MaxGuards — because each operation leases a
+// guard from the Domain's pool and parks when all are busy.
+func ExampleStack() {
+	d, _ := wfe.NewDomain[int](wfe.Options{Capacity: 1 << 12, MaxGuards: 2})
+	s := wfe.NewStack[int](d)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ { // 8x more goroutines than guards
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s.Push(w)
+			s.Pop()
+		}(w)
+	}
+	wg.Wait()
+
+	fmt.Println(s.Len())
+	// Output:
+	// 0
+}
+
+// ExampleQueue: guardless FIFO use.
+func ExampleQueue() {
+	d, _ := wfe.NewDomain[string](wfe.Options{Capacity: 1 << 10})
+	q := wfe.NewQueue[string](d)
+
+	q.Enqueue("first")
+	q.Enqueue("second")
+	for {
+		v, ok := q.Dequeue()
+		if !ok {
+			break
+		}
+		fmt.Println(v)
+	}
+	// Output:
+	// first
+	// second
+}
+
+// ExampleMap: guardless hash-map use.
+func ExampleMap() {
+	d, _ := wfe.NewDomain[string](wfe.Options{Capacity: 1 << 10})
+	m := wfe.NewMap[string](d, 16)
+
+	m.Put(1, "one")
+	m.Insert(2, "two")
+	if v, ok := m.Get(1); ok {
+		fmt.Println(v)
+	}
+	m.Delete(1)
+	_, ok := m.Get(1)
+	fmt.Println("deleted:", !ok)
+	// Output:
+	// one
+	// deleted: true
+}
+
+// ExampleDomain_Pin hoists the guardless path's per-operation lease out of
+// a loop: Pin once, run the batch through the Guarded variants, Unpin. The
+// guard returns to the lease cache, not the pool, so the next Pin on this
+// P is nearly free.
+func ExampleDomain_Pin() {
+	d, _ := wfe.NewDomain[int](wfe.Options{Capacity: 1 << 12})
+	s := wfe.NewStack[int](d)
+
+	g := d.Pin()
+	for i := 0; i < 1000; i++ {
+		s.PushGuarded(g, i)
+		s.PopGuarded(g)
+	}
+	d.Unpin(g)
+
+	t := d.Telemetry()
+	fmt.Println("ops amortized one lease:", t.GuardCacheMisses <= 1)
+	// Output:
+	// ops amortized one lease: true
+}
+
+// ExampleDomain_AcquireGuard blocks until a guard frees instead of
+// panicking (Guard) or failing (TryGuard) — the right acquisition path
+// when goroutines outnumber MaxGuards and hold guards for long stretches.
+func ExampleDomain_AcquireGuard() {
+	d, _ := wfe.NewDomain[int](wfe.Options{Capacity: 256, MaxGuards: 1})
+	s := wfe.NewStack[int](d)
+
+	g, err := d.AcquireGuard(context.Background())
+	if err != nil {
+		panic(err) // only a done context errs
+	}
+
+	done := make(chan int)
+	go func() {
+		// Parks until the first goroutine releases its guard.
+		g2, _ := d.AcquireGuard(context.Background())
+		defer g2.Release()
+		v, _ := s.PopGuarded(g2)
+		done <- v
+	}()
+
+	s.PushGuarded(g, 7)
+	g.Release() // hands off to the parked acquirer
+	fmt.Println(<-done)
+	// Output:
+	// 7
 }
 
 // ExampleGuard builds a minimal custom structure — a single protected

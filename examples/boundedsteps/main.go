@@ -11,6 +11,11 @@
 // again — bounding every read (paper Theorem 1). Compare the p99.99 and max
 // columns: that difference is the paper's contribution.
 //
+// The workers here are a fixed set sized at configuration time, so the
+// program uses the guard runtime's explicit path (Domain.Guard/Release)
+// rather than the guardless one: a latency microbenchmark wants zero
+// per-operation lease traffic in the measured loop.
+//
 // Run with:
 //
 //	go run ./examples/boundedsteps

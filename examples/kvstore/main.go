@@ -4,9 +4,13 @@
 // WFE, Hazard Eras, Hazard Pointers, EBR, 2GEIBR or the leaky baseline,
 // selected by a wfe.SchemeKind.
 //
-// The program runs a mixed workload while a reporter goroutine samples the
-// reclamation backlog, making the schemes' memory behaviour visible live
-// (try -scheme EBR -stall to watch an epoch scheme stop reclaiming).
+// The store is driven through the guardless API from several times more
+// goroutines than the Domain has guards (MaxGuards defaults to
+// GOMAXPROCS): every operation leases a reclamation slot from the guard
+// runtime, which is how a server with thousands of request goroutines
+// would use the library. A reporter goroutine samples the reclamation
+// backlog live (try -scheme EBR -stall to watch an epoch scheme stop
+// reclaiming while a stalled reader holds its guard mid-operation).
 //
 // Run with:
 //
@@ -15,10 +19,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,7 +35,7 @@ import (
 func main() {
 	var (
 		schemeName = flag.String("scheme", "WFE", "reclamation scheme (WFE, HE, HP, EBR, 2GEIBR, Leak, WFE-IBR)")
-		workers    = flag.Int("workers", 6, "worker goroutines")
+		workers    = flag.Int("workers", 4*runtime.GOMAXPROCS(0), "worker goroutines (guards stay at GOMAXPROCS)")
 		duration   = flag.Duration("duration", 3*time.Second, "run time")
 		keyRange   = flag.Uint64("keyrange", 100000, "key range")
 		stall      = flag.Bool("stall", false, "stall one reader mid-operation (EBR stops reclaiming)")
@@ -45,10 +51,19 @@ func main() {
 	if kind == wfe.Leak {
 		capacity = 1 << 23
 	}
+	// MaxGuards stays at the GOMAXPROCS default — the worker goroutines
+	// share the guards through the guard runtime — except under -stall,
+	// where one extra guard absorbs the reader that parks mid-operation
+	// for the whole run (otherwise, on GOMAXPROCS=1, the staller would own
+	// the only guard and stop the workload instead of the reclamation).
+	maxGuards := runtime.GOMAXPROCS(0)
+	if *stall {
+		maxGuards++
+	}
 	d, err := wfe.NewDomain[uint64](wfe.Options{
 		Scheme:    kind,
 		Capacity:  capacity,
-		MaxGuards: *workers,
+		MaxGuards: maxGuards,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -65,10 +80,14 @@ func main() {
 		stop.Add(1)
 		go func(w int) {
 			defer stop.Done()
-			g := d.Guard()
-			defer g.Release()
 			if *stall && w == 0 {
-				// A reader that never finishes its operation.
+				// A reader that never finishes its operation: it parks an
+				// explicit guard mid-operation for the whole run.
+				g, err := d.AcquireGuard(context.Background())
+				if err != nil {
+					return
+				}
+				defer g.Release()
 				g.Begin()
 				for !quit.Load() {
 					time.Sleep(time.Millisecond)
@@ -81,11 +100,11 @@ func main() {
 				key := uint64(rng.Int63n(int64(*keyRange)))
 				switch rng.Intn(10) {
 				case 0, 1, 2:
-					store.Put(g, key, key*2)
+					store.Put(key, key*2)
 				case 3:
-					store.Delete(g, key)
+					store.Delete(key)
 				default:
-					store.Get(g, key)
+					store.Get(key)
 				}
 				ops.Add(1)
 			}
@@ -94,6 +113,7 @@ func main() {
 
 	ticker := time.NewTicker(500 * time.Millisecond)
 	deadline := time.After(*duration)
+	fmt.Printf("%d goroutines over %d guards\n", *workers, d.Telemetry().MaxGuards)
 	fmt.Printf("%-8s %12s %14s %12s\n", "t", "ops", "unreclaimed", "live blocks")
 	start := time.Now()
 loop:
@@ -116,4 +136,8 @@ loop:
 	fmt.Printf("\n%s: %.2f Mops/s, final backlog %d, arena in use %d/%d\n",
 		t.Scheme, float64(ops.Load())/time.Since(start).Seconds()/1e6,
 		t.Unreclaimed, t.InUse, t.Capacity)
+	fmt.Printf("guard pool: %d acquisitions, %d cache hits (%.1f%% hit rate), %d parks\n",
+		t.GuardAcquires, t.GuardCacheHits,
+		100*float64(t.GuardCacheHits)/float64(t.GuardCacheHits+t.GuardCacheMisses+1),
+		t.GuardParks)
 }

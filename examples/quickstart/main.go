@@ -1,16 +1,19 @@
 // Quickstart: the paper's usage example (Figure 2) — Treiber's lock-free
 // stack managed by Wait-Free Eras, on the public Domain API.
 //
-// It shows the whole public surface in one sitting:
+// It shows the guard runtime's three acquisition paths in one sitting:
 //
-//   - build a Domain (typed arena + reclamation scheme in one object),
-//   - acquire one Guard per goroutine — the per-thread handle every
-//     allocation, protected read and retirement goes through,
-//   - Push allocates blocks via the Guard (stamping their alloc era),
-//     Pop protects the top block before dereferencing and retires it
-//     after unlinking,
-//   - freed blocks are recycled: the arena census stays flat no matter how
-//     many operations run.
+//   - guardless: s.Push(v) / s.Pop() lease a reclamation slot per
+//     operation from the Domain's lock-free guard pool — no Guard in
+//     sight, and goroutines may vastly outnumber MaxGuards,
+//   - pinned: d.Pin()/d.Unpin(g) hoist that lease out of a hot loop and
+//     run the Guarded method variants on it,
+//   - explicit: d.Guard()/g.Release() for a fixed worker set sized at
+//     configuration time.
+//
+// Freed blocks are recycled: the arena census stays flat no matter how
+// many operations run, and Debug mode turns any use-after-free into a
+// panic.
 //
 // Run with:
 //
@@ -28,46 +31,44 @@ func main() {
 	const workers = 4
 
 	// The arena bounds memory: 4096 node slots serve millions of operations
-	// because WFE recycles retired nodes promptly. Debug mode turns any
-	// use-after-free into a panic.
+	// because WFE recycles retired nodes promptly. MaxGuards defaults to
+	// GOMAXPROCS; the guard runtime shares those slots among any number of
+	// goroutines.
 	d, err := wfe.NewDomain[uint64](wfe.Options{
-		Scheme:    wfe.WFE,
-		Capacity:  4096,
-		MaxGuards: workers,
-		Debug:     true,
+		Scheme:   wfe.WFE,
+		Capacity: 4096,
+		Debug:    true,
 	})
 	if err != nil {
 		panic(err)
 	}
 	s := wfe.NewStack[uint64](d)
 
-	// Single-threaded taste: LIFO order.
-	g := d.Guard()
-	s.Push(g, 1)
-	s.Push(g, 2)
-	s.Push(g, 3)
+	// Guardless taste: LIFO order, no Guard anywhere.
+	s.Push(1)
+	s.Push(2)
+	s.Push(3)
 	for {
-		v, ok := s.Pop(g)
+		v, ok := s.Pop()
 		if !ok {
 			break
 		}
 		fmt.Printf("popped %d\n", v)
 	}
-	g.Release()
 
-	// Concurrent churn: every worker pushes and pops 100k times. The debug
-	// arena would panic on any use-after-free; the slot census proves
-	// reclamation keeps memory bounded.
+	// Concurrent churn on the pinned path: every worker pins one guard and
+	// pushes/pops 100k times through the Guarded variants — the guardless
+	// path's flexibility without its per-operation lease.
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			g := d.Guard()
-			defer g.Release()
+			g := d.Pin()
+			defer d.Unpin(g)
 			for i := 0; i < 100_000; i++ {
-				s.Push(g, uint64(w)<<32|uint64(i))
-				s.Pop(g)
+				s.PushGuarded(g, uint64(w)<<32|uint64(i))
+				s.PopGuarded(g)
 			}
 		}(w)
 	}
@@ -77,4 +78,6 @@ func main() {
 	fmt.Printf("\nafter %d ops: allocs=%d frees=%d live=%d (arena capacity %d)\n",
 		2*workers*100_000, t.Allocs, t.Frees, t.InUse, t.Capacity)
 	fmt.Printf("global era advanced to %d; slow paths taken: %d\n", t.Era, t.SlowPaths)
+	fmt.Printf("guard pool: %d acquisitions, %d cache hits, %d misses, %d parks\n",
+		t.GuardAcquires, t.GuardCacheHits, t.GuardCacheMisses, t.GuardParks)
 }

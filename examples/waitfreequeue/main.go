@@ -7,9 +7,11 @@
 // retired node. With WFE each reclamation operation is bounded (paper
 // Theorem 1) and a stalled guard delays at most a bounded set of blocks.
 // This program verifies exactly-once delivery while printing the
-// reclamation census. (The paper's fully wait-free Kogan–Petrank and CRTurn
-// queues live in internal/ds as the benchmark substrate; swap them in with
-// cmd/wfebench -figure 5a.)
+// reclamation census. Producers and consumers pin a guard for their whole
+// run (the hot-loop path of the guard runtime) and drive the queue through
+// the Guarded method variants; the paper's fully wait-free Kogan–Petrank
+// and CRTurn queues live in internal/ds as the benchmark substrate — swap
+// them in with cmd/wfebench -figure 5a.
 //
 // Run with:
 //
@@ -34,7 +36,7 @@ func main() {
 	d, err := wfe.NewDomain[uint64](wfe.Options{
 		Scheme:    wfe.WFE,
 		Capacity:  1 << 20,
-		MaxGuards: producers + consumers + 1, // +1 for the queue's sentinel allocation
+		MaxGuards: producers + consumers,
 		Debug:     true,
 	})
 	if err != nil {
@@ -54,11 +56,11 @@ func main() {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			g := d.Guard()
-			defer g.Release()
+			g := d.Pin()
+			defer d.Unpin(g)
 			for i := uint64(0); i < perProd; i++ {
 				v := uint64(p)<<32 | i
-				q.Enqueue(g, v)
+				q.EnqueueGuarded(g, v)
 				produced.Add(v) // commutative sum as a cheap checksum
 			}
 		}(p)
@@ -69,14 +71,14 @@ func main() {
 		consumerWG.Add(1)
 		go func() {
 			defer consumerWG.Done()
-			g := d.Guard()
-			defer g.Release()
+			g := d.Pin()
+			defer d.Unpin(g)
 			for {
-				v, ok := q.Dequeue(g)
+				v, ok := q.DequeueGuarded(g)
 				if !ok {
 					if done.Load() {
 						// Confirm emptiness once more after the flag.
-						if v, ok := q.Dequeue(g); ok {
+						if v, ok := q.DequeueGuarded(g); ok {
 							checksum.Add(v)
 							delivered.Add(1)
 							continue
@@ -105,4 +107,6 @@ func main() {
 		t.Allocs, t.Frees, t.InUse)
 	fmt.Printf("unreclaimed backlog now: %d blocks; WFE slow paths: %d; era: %d\n",
 		t.Unreclaimed, t.SlowPaths, t.Era)
+	fmt.Printf("guard runtime: %d pool acquisitions for %d workers (cache hits %d)\n",
+		t.GuardAcquires, producers+consumers, t.GuardCacheHits)
 }

@@ -1,0 +1,262 @@
+// Package guardpool is the guard runtime's tid allocator: a lock-free
+// freelist handing out the dense thread ids (0..n-1) that every reclamation
+// scheme's per-thread state is indexed by, plus a parking layer for callers
+// that would rather block than fail when all ids are held.
+//
+// The freelist is a Treiber stack of slot indices threaded through a
+// cache-line-padded next array. The head packs {ABA counter, top index}
+// into one uint64 so a single CAS both pops the top and invalidates stale
+// heads — the classic versioned-head construction, the same trick the
+// paper's wide-CAS emulation (internal/pack) uses for {era,tag} pairs.
+// Acquire and Release are therefore lock-free: no mutex, no syscall, and
+// under contention someone always makes progress.
+//
+// Parking (Acquire) is built on top of the lock-free core with DIRECT
+// handoff: when waiters are registered, Release sends the freed id into a
+// channel reserved for them instead of pushing it back on the freelist,
+// and TryAcquire refuses to poach from that channel while anyone waits.
+// Without the reservation a parked waiter can starve forever — the
+// releasing goroutine's own next acquire (or any barger's) wins the
+// freelist CAS long before the scheduler runs the woken waiter, which on
+// a busy system happens every single time. Because the pool cannot know
+// about ids its caller is holding elsewhere (the Domain layer caches idle
+// guards in a sync.Pool), a parked waiter also wakes on an escalating
+// backoff timer and re-polls through the caller-supplied spare function —
+// the safety net that bounds the cache-vs-waiter sleep race to
+// milliseconds instead of forever.
+package guardpool
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// emptyIdx is the freelist terminator: no next slot / empty pool.
+const emptyIdx = ^uint32(0)
+
+// slot is one freelist cell. Only the next index lives here; the padding
+// keeps neighbouring tids' push/pop traffic off each other's cache lines,
+// matching the per-thread state layout of internal/mem and internal/core.
+type slot struct {
+	next atomic.Uint32
+	_    [60]byte
+}
+
+// Pool is a lock-free pool of the dense ids 0..Cap()-1. The zero value is
+// not usable; construct with New.
+type Pool struct {
+	// head packs {ABA counter : 32, top slot index : 32}. Every successful
+	// CAS bumps the counter, so a pop that read a stale head-next pair can
+	// never install it over a recycled top slot.
+	head atomic.Uint64
+	_    [56]byte
+
+	slots []slot
+
+	// waiters counts Acquire callers that are registered to park. While it
+	// is non-zero, Release hands freed ids into hand — reserved for parked
+	// waiters, off-limits to TryAcquire — instead of the freelist; the
+	// uncontended release path stays one load past the CAS.
+	waiters atomic.Int32
+	hand    chan int
+
+	acquires atomic.Uint64
+	parks    atomic.Uint64
+}
+
+// New creates a pool holding the ids 0..n-1, popping in ascending order
+// from a full pool.
+func New(n int) *Pool {
+	if n < 0 {
+		n = 0
+	}
+	p := &Pool{
+		slots: make([]slot, n),
+		hand:  make(chan int, n+1), // never blocks: at most n ids exist
+	}
+	for i := 0; i < n-1; i++ {
+		p.slots[i].next.Store(uint32(i + 1))
+	}
+	if n > 0 {
+		p.slots[n-1].next.Store(emptyIdx)
+		p.head.Store(pack(0, 0))
+	} else {
+		p.head.Store(pack(0, emptyIdx))
+	}
+	return p
+}
+
+func pack(aba uint64, idx uint32) uint64 { return aba<<32 | uint64(idx) }
+
+// Cap returns the number of ids the pool manages.
+func (p *Pool) Cap() int { return len(p.slots) }
+
+// pop is the freelist fast path: one versioned-head CAS, no mutex.
+func (p *Pool) pop() (int, bool) {
+	for {
+		h := p.head.Load()
+		idx := uint32(h)
+		if idx == emptyIdx {
+			return 0, false
+		}
+		next := p.slots[idx].next.Load()
+		if p.head.CompareAndSwap(h, pack(h>>32+1, next)) {
+			return int(idx), true
+		}
+	}
+}
+
+// TryAcquire pops a free id, reporting false when none is free. Ids that
+// Release handed to parked waiters are reserved: TryAcquire only drains
+// the handoff channel when nobody is registered to park (a waiter that
+// left without its id — context cancelled, or satisfied from the caller's
+// spare supply — strands it there until someone claims it).
+func (p *Pool) TryAcquire() (int, bool) {
+	if tid, ok := p.pop(); ok {
+		p.acquires.Add(1)
+		return tid, true
+	}
+	if p.waiters.Load() == 0 {
+		select {
+		case tid := <-p.hand:
+			p.acquires.Add(1)
+			return tid, true
+		default:
+		}
+	}
+	return 0, false
+}
+
+// Release returns an id to the pool. With waiters registered the id is
+// handed directly to one of them — never the freelist, where the next
+// barging TryAcquire (often the releasing goroutine's own next operation,
+// already running while the waiter sits in the scheduler queue) would
+// beat the waiter to it every time. The id must have come from
+// TryAcquire/Acquire and must not be released twice — the freelist trusts
+// its caller the same way the schemes trust their tids.
+func (p *Pool) Release(tid int) {
+	if p.waiters.Load() > 0 {
+		select {
+		case p.hand <- tid:
+			return
+		default: // buffer can only fill if callers over-release; fall through
+		}
+	}
+	for {
+		h := p.head.Load()
+		p.slots[tid].next.Store(uint32(h))
+		if p.head.CompareAndSwap(h, pack(h>>32+1, uint32(tid))) {
+			return
+		}
+	}
+}
+
+// parkBackoff bounds how long a parked waiter sleeps between re-polls.
+// Handoff via the wake channel is the normal wake path; the timer only
+// covers ids that bypass the pool (a caller-side cache) racing a waiter's
+// registration.
+const (
+	parkBackoffMin = time.Millisecond
+	parkBackoffMax = 50 * time.Millisecond
+)
+
+// Acquire pops a free id, parking until one is released or ctx is done.
+// spare, if non-nil, is polled before each park: it lets the caller offer
+// ids it is holding outside the pool (e.g. an idle-guard cache) so a
+// waiter never sleeps while the caller could satisfy it. spare must return
+// an id the caller owns, which Acquire then hands to its own caller.
+func (p *Pool) Acquire(ctx context.Context, spare func() (int, bool)) (int, error) {
+	if tid, ok := p.TryAcquire(); ok {
+		return tid, nil
+	}
+	backoff := parkBackoffMin
+	// One reusable timer for the whole parked stretch: the contended path
+	// parks hundreds of thousands of times a second, and a time.After per
+	// park would churn that many dead timers through the GC. Reset is safe
+	// without a drain here because the only path that loops back to it is
+	// the timer case itself, which consumed the tick.
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+	for {
+		if spare != nil {
+			if tid, ok := spare(); ok {
+				p.acquires.Add(1)
+				return tid, nil
+			}
+		}
+		// Register, then re-poll the freelist: a Release that pushed there
+		// before seeing our registration is caught by the poll; one that
+		// ran after sees waiters > 0 and feeds the handoff channel we are
+		// about to park on. Either way no id is lost.
+		p.waiters.Add(1)
+		if tid, ok := p.pop(); ok {
+			p.waiters.Add(-1)
+			p.acquires.Add(1)
+			return tid, nil
+		}
+		p.parks.Add(1)
+		if timer == nil {
+			timer = time.NewTimer(backoff)
+		} else {
+			timer.Reset(backoff)
+		}
+		select {
+		case tid := <-p.hand:
+			p.waiters.Add(-1)
+			p.acquires.Add(1)
+			return tid, nil
+		case <-timer.C:
+			if backoff *= 2; backoff > parkBackoffMax {
+				backoff = parkBackoffMax
+			}
+		case <-ctx.Done():
+			p.waiters.Add(-1)
+			return 0, ctx.Err()
+		}
+		p.waiters.Add(-1)
+		if tid, ok := p.TryAcquire(); ok {
+			return tid, nil
+		}
+	}
+}
+
+// Waiters reports how many Acquire callers are currently registered to
+// park. Callers holding ids outside the pool use it to prefer handing an
+// id back over caching it while someone sleeps.
+func (p *Pool) Waiters() int { return int(p.waiters.Load()) }
+
+// Free counts the ids currently available: the freelist walked plus any
+// ids parked in the handoff channel (handed to a waiter that left without
+// them). The walk is bounded and every read is in-range, so it is always
+// safe to call, but the count is only meaningful when the pool is
+// quiescent — concurrent pops and pushes can make a racing walk over- or
+// under-count.
+func (p *Pool) Free() int {
+	n := len(p.hand)
+	idx := uint32(p.head.Load())
+	for idx != emptyIdx && n < len(p.slots) {
+		n++
+		idx = p.slots[idx].next.Load()
+	}
+	return n
+}
+
+// Stats is a monotonic census of pool traffic.
+type Stats struct {
+	// Acquires counts every id handed to a caller by TryAcquire or
+	// Acquire, whether it came off the freelist, the handoff channel, or
+	// the caller's spare supply.
+	Acquires uint64
+	// Parks counts the times an Acquire caller blocked waiting.
+	Parks uint64
+}
+
+// Stats samples the counters; approximate under concurrency.
+func (p *Pool) Stats() Stats {
+	return Stats{Acquires: p.acquires.Load(), Parks: p.parks.Load()}
+}

@@ -1,0 +1,239 @@
+package guardpool
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPopOrderAndExhaustion(t *testing.T) {
+	p := New(4)
+	if p.Cap() != 4 || p.Free() != 4 {
+		t.Fatalf("Cap=%d Free=%d, want 4,4", p.Cap(), p.Free())
+	}
+	for want := 0; want < 4; want++ {
+		tid, ok := p.TryAcquire()
+		if !ok || tid != want {
+			t.Fatalf("TryAcquire = %d,%v, want %d,true", tid, ok, want)
+		}
+	}
+	if _, ok := p.TryAcquire(); ok {
+		t.Fatal("TryAcquire succeeded on an empty pool")
+	}
+	if p.Free() != 0 {
+		t.Fatalf("Free = %d, want 0", p.Free())
+	}
+	p.Release(2)
+	if tid, ok := p.TryAcquire(); !ok || tid != 2 {
+		t.Fatalf("TryAcquire after Release(2) = %d,%v", tid, ok)
+	}
+}
+
+func TestZeroAndOneSized(t *testing.T) {
+	p := New(0)
+	if _, ok := p.TryAcquire(); ok {
+		t.Fatal("TryAcquire on empty pool succeeded")
+	}
+	p = New(1)
+	if tid, ok := p.TryAcquire(); !ok || tid != 0 {
+		t.Fatalf("TryAcquire = %d,%v", tid, ok)
+	}
+	p.Release(0)
+	if p.Free() != 1 {
+		t.Fatalf("Free = %d, want 1", p.Free())
+	}
+}
+
+// TestNoDuplicateHandout hammers TryAcquire/Release from many goroutines
+// and asserts an id is never held by two goroutines at once — the ABA
+// counter's whole job. Run with -race.
+func TestNoDuplicateHandout(t *testing.T) {
+	const ids, workers, iters = 4, 16, 20000
+	p := New(ids)
+	var held [ids]atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				tid, ok := p.TryAcquire()
+				if !ok {
+					continue
+				}
+				if held[tid].Swap(true) {
+					t.Errorf("id %d handed out twice", tid)
+					return
+				}
+				held[tid].Store(false)
+				p.Release(tid)
+			}
+		}()
+	}
+	wg.Wait()
+	if free := p.Free(); free != ids {
+		t.Fatalf("pool drained: Free = %d, want %d", free, ids)
+	}
+}
+
+func TestAcquireParksAndWakes(t *testing.T) {
+	p := New(1)
+	tid, ok := p.TryAcquire()
+	if !ok {
+		t.Fatal("TryAcquire failed on a fresh pool")
+	}
+	got := make(chan int)
+	go func() {
+		id, err := p.Acquire(context.Background(), nil)
+		if err != nil {
+			t.Errorf("Acquire: %v", err)
+		}
+		got <- id
+	}()
+	// Give the waiter time to park, then hand off.
+	time.Sleep(10 * time.Millisecond)
+	p.Release(tid)
+	select {
+	case id := <-got:
+		if id != tid {
+			t.Fatalf("handed off id %d, want %d", id, tid)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("parked Acquire never woke after Release")
+	}
+	if st := p.Stats(); st.Parks == 0 {
+		t.Fatalf("Stats.Parks = 0 after a parked acquire (stats %+v)", st)
+	}
+}
+
+// TestHandoffBeatsBarging: once a waiter is parked, a released id is
+// reserved for it — a concurrent TryAcquire (the barging pattern that
+// would otherwise starve the waiter forever on a busy system) must fail.
+func TestHandoffBeatsBarging(t *testing.T) {
+	p := New(1)
+	tid, _ := p.TryAcquire()
+	got := make(chan int)
+	go func() {
+		id, err := p.Acquire(context.Background(), nil)
+		if err != nil {
+			t.Errorf("Acquire: %v", err)
+		}
+		got <- id
+	}()
+	for p.Waiters() == 0 { // wait for registration
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(5 * time.Millisecond) // let it reach the park
+	p.Release(tid)
+	if id, ok := p.TryAcquire(); ok {
+		t.Fatalf("barging TryAcquire stole id %d reserved for the parked waiter", id)
+	}
+	select {
+	case id := <-got:
+		if id != tid {
+			t.Fatalf("handed off id %d, want %d", id, tid)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("parked waiter never received the handed-off id")
+	}
+}
+
+// TestStrandedHandoffRecovered: an id handed to a waiter that left
+// (context cancel) must become acquirable again once no one is parked.
+func TestStrandedHandoffRecovered(t *testing.T) {
+	p := New(1)
+	tid, _ := p.TryAcquire()
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error)
+	go func() {
+		_, err := p.Acquire(ctx, nil)
+		errc <- err
+	}()
+	for p.Waiters() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel() // the waiter leaves; a concurrent release may still hand to it
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("Acquire = %v, want Canceled", err)
+	}
+	p.Release(tid) // waiters may still read >0 transiently; either path is fine
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if id, ok := p.TryAcquire(); ok {
+			if id != tid {
+				t.Fatalf("recovered id %d, want %d", id, tid)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("released id never became acquirable after the waiter left")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestAcquireContextCancel(t *testing.T) {
+	p := New(1)
+	p.TryAcquire() // drain
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := p.Acquire(ctx, nil); err != context.DeadlineExceeded {
+		t.Fatalf("Acquire = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestAcquireSpare: a parked waiter must accept an id offered through the
+// spare callback (the Domain's idle-guard cache) instead of sleeping on a
+// pool that will never refill.
+func TestAcquireSpare(t *testing.T) {
+	p := New(1)
+	p.TryAcquire() // the id now lives "outside" the pool, as a cached guard would
+	var polled atomic.Int32
+	id, err := p.Acquire(context.Background(), func() (int, bool) {
+		if polled.Add(1) >= 2 {
+			return 0, true // cache hands the id over on the second poll
+		}
+		return 0, false
+	})
+	if err != nil || id != 0 {
+		t.Fatalf("Acquire = %d,%v", id, err)
+	}
+}
+
+// TestConcurrentAcquireRelease drives blocking Acquire from 8x more
+// goroutines than ids; every acquire must eventually succeed and the pool
+// must end full.
+func TestConcurrentAcquireRelease(t *testing.T) {
+	const ids, workers, iters = 3, 24, 500
+	p := New(ids)
+	var wg sync.WaitGroup
+	var held [ids]atomic.Bool
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				tid, err := p.Acquire(context.Background(), nil)
+				if err != nil {
+					t.Errorf("Acquire: %v", err)
+					return
+				}
+				if held[tid].Swap(true) {
+					t.Errorf("id %d handed out twice", tid)
+					return
+				}
+				held[tid].Store(false)
+				p.Release(tid)
+			}
+		}()
+	}
+	wg.Wait()
+	if free := p.Free(); free != ids {
+		t.Fatalf("pool leaked: Free = %d, want %d", free, ids)
+	}
+	if st := p.Stats(); st.Acquires == 0 {
+		t.Fatal("Stats.Acquires = 0")
+	}
+}

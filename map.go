@@ -9,14 +9,19 @@ const (
 	mapKey  = 1
 )
 
-// map protection slots rotate across the prev/cur/next roles of the
-// traversal window, exactly as in the paper's list benchmark.
-const mapSlots = 3
+// Three map protection slots rotate across the prev/cur/next roles of the
+// traversal window, exactly as in the paper's list benchmark (see find).
 
 // Map is Michael's lock-free hash map of uint64 keys to T values on the
 // typed Domain façade: a fixed array of buckets, each a Harris–Michael
 // sorted linked list. It needs 3 protection slots per guard
 // (Options.MaxSlots >= 3, which the default satisfies).
+//
+// The plain methods (Insert, Delete, Get, Put, Len) are guardless: each
+// leases a guard from the Domain's guard runtime for the duration of the
+// operation, so any number of goroutines may call them. The Guarded
+// variants take an explicit or pinned Guard and skip the lease — use them
+// in hot loops.
 type Map[T any] struct {
 	d       *Domain[T]
 	buckets []Atomic[T]
@@ -109,7 +114,47 @@ retry:
 
 // Insert adds key→val; it reports false (leaving the map unchanged) when
 // the key is already present.
-func (m *Map[T]) Insert(g *Guard[T], key uint64, val T) bool {
+func (m *Map[T]) Insert(key uint64, val T) bool {
+	g := m.d.Pin()
+	defer m.d.unpin(g)
+	return m.InsertGuarded(g, key, val)
+}
+
+// Delete removes key, reporting whether it was present. The victim is
+// marked first (the linearization point) and unlinked here or by a later
+// traversal.
+func (m *Map[T]) Delete(key uint64) bool {
+	g := m.d.Pin()
+	defer m.d.unpin(g)
+	return m.DeleteGuarded(g, key)
+}
+
+// Get returns the value stored under key.
+func (m *Map[T]) Get(key uint64) (v T, ok bool) {
+	g := m.d.Pin()
+	defer m.d.unpin(g)
+	return m.GetGuarded(g, key)
+}
+
+// Put inserts key→val, or replaces an existing key's node with a freshly
+// allocated one (mark, swing, retire). Replacement rather than in-place
+// mutation is what keeps values safely immutable for concurrent readers —
+// and why read-mostly workloads still exercise reclamation (paper §5).
+func (m *Map[T]) Put(key uint64, val T) {
+	g := m.d.Pin()
+	defer m.d.unpin(g)
+	m.PutGuarded(g, key, val)
+}
+
+// Len counts reachable, unmarked nodes; meaningful only quiescently.
+func (m *Map[T]) Len() int {
+	g := m.d.Pin()
+	defer m.d.unpin(g)
+	return m.LenGuarded(g)
+}
+
+// InsertGuarded is Insert on a caller-held guard.
+func (m *Map[T]) InsertGuarded(g *Guard[T], key uint64, val T) bool {
 	g.Begin()
 	defer g.End()
 	head := m.bucket(key)
@@ -133,10 +178,8 @@ func (m *Map[T]) Insert(g *Guard[T], key uint64, val T) bool {
 	}
 }
 
-// Delete removes key, reporting whether it was present. The victim is
-// marked first (the linearization point) and unlinked here or by a later
-// traversal.
-func (m *Map[T]) Delete(g *Guard[T], key uint64) bool {
+// DeleteGuarded is Delete on a caller-held guard.
+func (m *Map[T]) DeleteGuarded(g *Guard[T], key uint64) bool {
 	g.Begin()
 	defer g.End()
 	head := m.bucket(key)
@@ -155,8 +198,8 @@ func (m *Map[T]) Delete(g *Guard[T], key uint64) bool {
 	}
 }
 
-// Get returns the value stored under key.
-func (m *Map[T]) Get(g *Guard[T], key uint64) (v T, ok bool) {
+// GetGuarded is Get on a caller-held guard.
+func (m *Map[T]) GetGuarded(g *Guard[T], key uint64) (v T, ok bool) {
 	g.Begin()
 	defer g.End()
 	found, w := m.find(g, m.bucket(key), key)
@@ -166,11 +209,8 @@ func (m *Map[T]) Get(g *Guard[T], key uint64) (v T, ok bool) {
 	return g.Value(w.cur), true
 }
 
-// Put inserts key→val, or replaces an existing key's node with a freshly
-// allocated one (mark, swing, retire). Replacement rather than in-place
-// mutation is what keeps values safely immutable for concurrent readers —
-// and why read-mostly workloads still exercise reclamation (paper §5).
-func (m *Map[T]) Put(g *Guard[T], key uint64, val T) {
+// PutGuarded is Put on a caller-held guard.
+func (m *Map[T]) PutGuarded(g *Guard[T], key uint64, val T) {
 	g.Begin()
 	defer g.End()
 	head := m.bucket(key)
@@ -203,8 +243,8 @@ func (m *Map[T]) Put(g *Guard[T], key uint64, val T) {
 	}
 }
 
-// Len counts reachable, unmarked nodes; meaningful only quiescently.
-func (m *Map[T]) Len(g *Guard[T]) int {
+// LenGuarded is Len on a caller-held guard.
+func (m *Map[T]) LenGuarded(g *Guard[T]) int {
 	n := 0
 	for i := range m.buckets {
 		for r := m.buckets[i].Load(); !r.IsNil(); {

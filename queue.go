@@ -13,19 +13,24 @@ const (
 
 // Queue is a Michael–Scott lock-free MPMC FIFO queue of T on the typed
 // Domain façade. It needs 2 protection slots per guard.
+//
+// The plain methods (Enqueue, Dequeue, Len) are guardless: each leases a
+// guard from the Domain's guard runtime for the duration of the
+// operation, so any number of goroutines may call them. The Guarded
+// variants take an explicit or pinned Guard and skip the lease — use them
+// in hot loops.
 type Queue[T any] struct {
 	d    *Domain[T]
 	head Atomic[T]
 	tail Atomic[T]
 }
 
-// NewQueue creates an empty queue on the Domain. It acquires (and
-// releases) a temporary guard to allocate the sentinel node, so one guard
-// must be free.
+// NewQueue creates an empty queue on the Domain. It leases a guard to
+// allocate the sentinel node, parking briefly if all guards are busy.
 func NewQueue[T any](d *Domain[T]) *Queue[T] {
 	q := &Queue[T]{d: d}
-	g := d.Guard()
-	defer g.Release()
+	g := d.Pin()
+	defer d.Unpin(g)
 	var zero T
 	s := g.Alloc(zero)
 	q.head.Store(s)
@@ -34,7 +39,28 @@ func NewQueue[T any](d *Domain[T]) *Queue[T] {
 }
 
 // Enqueue appends v.
-func (q *Queue[T]) Enqueue(g *Guard[T], v T) {
+func (q *Queue[T]) Enqueue(v T) {
+	g := q.d.Pin()
+	defer q.d.unpin(g)
+	q.EnqueueGuarded(g, v)
+}
+
+// Dequeue removes and returns the oldest value; ok is false when empty.
+func (q *Queue[T]) Dequeue() (v T, ok bool) {
+	g := q.d.Pin()
+	defer q.d.unpin(g)
+	return q.DequeueGuarded(g)
+}
+
+// Len counts queued values; meaningful only quiescently.
+func (q *Queue[T]) Len() int {
+	g := q.d.Pin()
+	defer q.d.unpin(g)
+	return q.LenGuarded(g)
+}
+
+// EnqueueGuarded is Enqueue on a caller-held guard.
+func (q *Queue[T]) EnqueueGuarded(g *Guard[T], v T) {
 	g.Begin()
 	defer g.End()
 	node := g.Alloc(v)
@@ -55,8 +81,8 @@ func (q *Queue[T]) Enqueue(g *Guard[T], v T) {
 	}
 }
 
-// Dequeue removes and returns the oldest value; ok is false when empty.
-func (q *Queue[T]) Dequeue(g *Guard[T]) (v T, ok bool) {
+// DequeueGuarded is Dequeue on a caller-held guard.
+func (q *Queue[T]) DequeueGuarded(g *Guard[T]) (v T, ok bool) {
 	g.Begin()
 	defer g.End()
 	for {
@@ -86,8 +112,8 @@ func (q *Queue[T]) Dequeue(g *Guard[T]) (v T, ok bool) {
 	}
 }
 
-// Len counts queued values; meaningful only quiescently.
-func (q *Queue[T]) Len(g *Guard[T]) int {
+// LenGuarded is Len on a caller-held guard.
+func (q *Queue[T]) LenGuarded(g *Guard[T]) int {
 	n := 0
 	for r := q.head.Load(); !r.IsNil(); r = g.Load(r, queueNext) {
 		if !g.Load(r, queueNext).IsNil() {

@@ -6,6 +6,11 @@ const stackNext = 0
 // Stack is a Treiber lock-free stack of T — the paper's usage example for
 // the reclamation API (Figure 2), here on the typed Domain façade. It
 // needs 1 protection slot per guard.
+//
+// The plain methods (Push, Pop, Len) are guardless: each leases a guard
+// from the Domain's guard runtime for the duration of the operation, so
+// any number of goroutines may call them. The Guarded variants take an
+// explicit or pinned Guard and skip the lease — use them in hot loops.
 type Stack[T any] struct {
 	d   *Domain[T]
 	top Atomic[T]
@@ -17,7 +22,28 @@ func NewStack[T any](d *Domain[T]) *Stack[T] {
 }
 
 // Push adds v to the top of the stack.
-func (s *Stack[T]) Push(g *Guard[T], v T) {
+func (s *Stack[T]) Push(v T) {
+	g := s.d.Pin()
+	defer s.d.unpin(g)
+	s.PushGuarded(g, v)
+}
+
+// Pop removes and returns the top value; ok is false on an empty stack.
+func (s *Stack[T]) Pop() (v T, ok bool) {
+	g := s.d.Pin()
+	defer s.d.unpin(g)
+	return s.PopGuarded(g)
+}
+
+// Len counts the nodes; it is only meaningful quiescently.
+func (s *Stack[T]) Len() int {
+	g := s.d.Pin()
+	defer s.d.unpin(g)
+	return s.LenGuarded(g)
+}
+
+// PushGuarded is Push on a caller-held guard.
+func (s *Stack[T]) PushGuarded(g *Guard[T], v T) {
 	g.Begin()
 	defer g.End()
 	n := g.Alloc(v)
@@ -30,8 +56,8 @@ func (s *Stack[T]) Push(g *Guard[T], v T) {
 	}
 }
 
-// Pop removes and returns the top value; ok is false on an empty stack.
-func (s *Stack[T]) Pop(g *Guard[T]) (v T, ok bool) {
+// PopGuarded is Pop on a caller-held guard.
+func (s *Stack[T]) PopGuarded(g *Guard[T]) (v T, ok bool) {
 	g.Begin()
 	defer g.End()
 	for {
@@ -48,8 +74,8 @@ func (s *Stack[T]) Pop(g *Guard[T]) (v T, ok bool) {
 	}
 }
 
-// Len counts the nodes; it is only meaningful quiescently.
-func (s *Stack[T]) Len(g *Guard[T]) int {
+// LenGuarded is Len on a caller-held guard.
+func (s *Stack[T]) LenGuarded(g *Guard[T]) int {
 	n := 0
 	for r := s.top.Load(); !r.IsNil(); r = g.Load(r, stackNext) {
 		n++
