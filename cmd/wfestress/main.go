@@ -11,9 +11,16 @@
 // guard pool refills completely after the storm — a leaked lease or a
 // double-handed tid fails the run.
 //
+// The -workloads mode storms the four promoted public structures (WFQueue,
+// TurnQueue, HashMap, Tree) through the guardless API, again from 8x more
+// goroutines than guards with the debug arena armed; after each storm the
+// structure is drained and the run asserts the guard pool refills and (for
+// every reclaiming scheme) the retired backlog collapses.
+//
 //	wfestress -ds hashmap -scheme WFE -forceslow -threads 8 -duration 5s
 //	wfestress -ds all -scheme all -duration 2s
 //	wfestress -churn -scheme all -duration 2s
+//	wfestress -workloads -scheme all -duration 1s
 package main
 
 import (
@@ -34,6 +41,7 @@ import (
 	"wfe/internal/ds/kpqueue"
 	"wfe/internal/ds/list"
 	"wfe/internal/mem"
+	"wfe/internal/quiesce"
 	"wfe/internal/reclaim"
 	"wfe/internal/schemes"
 )
@@ -51,6 +59,7 @@ func main() {
 		stall     = flag.Int("stall", 0, "number of reader threads to stall mid-operation")
 		eraFreq   = flag.Int("erafreq", 8, "era increment frequency (low values stress helping)")
 		churn     = flag.Bool("churn", false, "guard-runtime churn: 8x more goroutines than guards over the public guardless API")
+		workloads = flag.Bool("workloads", false, "storm the promoted public structures (WFQueue, TurnQueue, HashMap, Tree) through the guardless API")
 	)
 	flag.Parse()
 
@@ -64,6 +73,20 @@ func main() {
 	}
 
 	failed := false
+	if *workloads {
+		for _, ds := range []string{"wfqueue", "turnqueue", "hashmap", "tree"} {
+			for _, s := range scs {
+				if err := workloadStress(ds, s, *threads, *duration, *keyRange, *forceSlow, *eraFreq); err != nil {
+					fmt.Fprintf(os.Stderr, "FAIL workload %-10s %-8s: %v\n", ds, s, err)
+					failed = true
+				}
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+		return
+	}
 	if *churn {
 		for _, s := range scs {
 			if err := churnStress(s, *threads, *duration, *keyRange, *forceSlow, *eraFreq); err != nil {
@@ -167,16 +190,151 @@ func churnStress(schemeName string, threads int, duration time.Duration,
 	stop.Store(true)
 	wg.Wait()
 
-	if stranded := d.FlushGuardCache(); stranded != 0 {
-		return fmt.Errorf("%d guards stranded in the lease cache after flush", stranded)
+	if err := quiesce.Check(d, false); err != nil {
+		return err
 	}
 	tel := d.Telemetry()
-	if tel.GuardsFree != threads {
-		return fmt.Errorf("guard leak: %d/%d tids back on the freelist", tel.GuardsFree, threads)
-	}
 	fmt.Printf("PASS churn    %-8s: %d ops, %d goroutines over %d guards, %d acquires, %d cache hits, %d parks, %d live blocks in %v\n",
 		schemeName, ops.Load(), goroutines, threads,
 		tel.GuardAcquires, tel.GuardCacheHits, tel.GuardParks, tel.InUse,
+		time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// workloadStress storms one promoted public structure through the
+// guardless API from 8x more goroutines than guards, with the debug arena
+// armed. After the storm the structure is drained and the run asserts the
+// lease cache flushes clean, every tid is back in the pool, and — for
+// every scheme but the leak baseline — the retired backlog collapses.
+func workloadStress(dsName, schemeName string, threads int, duration time.Duration,
+	keyRange uint64, forceSlow bool, eraFreq int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+
+	name := schemeName
+	if name == "WFE-slow" {
+		name, forceSlow = "WFE", true
+	}
+	kind, err := wfe.ParseScheme(name)
+	if err != nil {
+		return err
+	}
+	if dsName == "turnqueue" && threads > bench.MaxTurnGuards {
+		threads = bench.MaxTurnGuards // the CRTurn claim word's tid capacity
+	}
+	capacity := 1 << 20
+	if kind == wfe.Leak {
+		capacity = 1 << 23
+	}
+	d, err := wfe.NewDomain[uint64](wfe.Options{
+		Scheme:        kind,
+		Capacity:      capacity,
+		MaxGuards:     threads,
+		EraFreq:       eraFreq,
+		CleanupFreq:   4,
+		ForceSlowPath: forceSlow,
+		Debug:         true,
+	})
+	if err != nil {
+		return err
+	}
+	p := bench.BuildPublicKV(dsName, d, keyRange)
+	isQueue := bench.IsPublicQueue(dsName)
+
+	goroutines := 8 * threads
+	var (
+		stop        atomic.Bool
+		ops         atomic.Uint64
+		wg          sync.WaitGroup
+		workerPanic atomic.Pointer[string]
+		exhausted   atomic.Bool
+	)
+	start := time.Now()
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				// A worker panic (a debug-arena use-after-free, a guard
+				// leak — the failures the storm exists to surface) must
+				// become this cell's FAIL, not kill the whole matrix. The
+				// one expected panic is the leak baseline filling its
+				// fixed arena on a long run: that ends the cell early but
+				// passes it.
+				if r := recover(); r != nil {
+					if bench.LeakExhausted(r, kind) {
+						exhausted.Store(true)
+					} else {
+						msg := fmt.Sprintf("worker panic: %v", r)
+						workerPanic.CompareAndSwap(nil, &msg)
+					}
+					stop.Store(true)
+				}
+			}()
+			rng := rand.New(rand.NewSource(int64(w)*6271 + 5))
+			for !stop.Load() {
+				key := uint64(rng.Int63n(int64(keyRange)))
+				switch {
+				case isQueue:
+					if rng.Intn(2) == 0 {
+						p.Insert(key)
+					} else {
+						p.Remove(key)
+					}
+				default:
+					switch rng.Intn(4) {
+					case 0:
+						p.Insert(key)
+					case 1:
+						p.Remove(key)
+					case 2:
+						p.Get(key)
+					default:
+						p.Put(key)
+					}
+				}
+				ops.Add(1)
+			}
+		}(w)
+	}
+	time.Sleep(duration)
+	stop.Store(true)
+	wg.Wait()
+	if msg := workerPanic.Load(); msg != nil {
+		return fmt.Errorf("%s", *msg)
+	}
+	if exhausted.Load() {
+		// Nothing left to assert: the drain/settle churn below would only
+		// panic again on the full arena.
+		fmt.Printf("PASS workload %-10s %-8s: %d ops, arena exhausted (expected for Leak) in %v\n",
+			dsName, schemeName, ops.Load(), time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+
+	// Quiescent drain, then settle every tid's retire list so the final
+	// census reflects a completed cleanup scan.
+	if isQueue {
+		for p.Remove(0) {
+		}
+	} else {
+		for k := uint64(0); k < keyRange; k++ {
+			p.Remove(k)
+		}
+	}
+	if n := p.Len(); n != 0 {
+		return fmt.Errorf("structure not empty after drain: Len = %d", n)
+	}
+	quiesce.Settle(d)
+	if err := quiesce.Check(d, kind != wfe.Leak); err != nil {
+		return err
+	}
+	tel := d.Telemetry()
+	fmt.Printf("PASS workload %-10s %-8s: %d ops, %d goroutines over %d guards, %d acquires, %d parks, %d unreclaimed in %v\n",
+		dsName, schemeName, ops.Load(), goroutines, threads,
+		tel.GuardAcquires, tel.GuardParks, tel.Unreclaimed,
 		time.Since(start).Round(time.Millisecond))
 	return nil
 }

@@ -1,0 +1,525 @@
+// Public-API conformance harness: one table-driven matrix runs every
+// built-in structure (Stack, Queue, and the paper's four promoted
+// evaluation workloads — WFQueue, TurnQueue, HashMap, Tree) against every
+// SchemeKind (plus the forced-slow-path variants of the wait-free schemes)
+// across all three guard acquisition paths (guardless, pinned,
+// acquire-per-op), with the arena's use-after-free detection armed.
+//
+// Each structure × scheme cell runs a sequential model phase against an
+// oracle through an explicit Guard, a concurrent phase per acquisition
+// path under exactly-once / net-membership invariants, and finally a
+// quiescent drain asserting the retired-block backlog collapses and every
+// guard returns to the pool. CI runs this file under -race.
+package wfe_test
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"wfe"
+	"wfe/internal/quiesce"
+)
+
+// conformKind classifies a structure's semantics for the oracle phases.
+type conformKind int
+
+const (
+	lifoKind conformKind = iota // Stack
+	fifoKind                    // Queue, WFQueue, TurnQueue
+	kvKind                      // HashMap, Tree
+)
+
+// conformAPI adapts one public structure to the matrix. A nil guard selects
+// the plain guardless methods; a non-nil one the Guarded variants.
+type conformAPI interface {
+	kind() conformKind
+	// insert pushes/enqueues k (sequences, always true) or Inserts k→k (kv).
+	insert(g *wfe.Guard[uint64], k uint64) bool
+	// remove pops/dequeues (k ignored; returns the value) or Deletes k.
+	remove(g *wfe.Guard[uint64], k uint64) (uint64, bool)
+	// get and put are kv-only; sequences never see them.
+	get(g *wfe.Guard[uint64], k uint64) (uint64, bool)
+	put(g *wfe.Guard[uint64], k, v uint64)
+	length(g *wfe.Guard[uint64]) int
+}
+
+type stackAPI struct{ s *wfe.Stack[uint64] }
+
+func (a stackAPI) kind() conformKind { return lifoKind }
+func (a stackAPI) insert(g *wfe.Guard[uint64], k uint64) bool {
+	if g == nil {
+		a.s.Push(k)
+	} else {
+		a.s.PushGuarded(g, k)
+	}
+	return true
+}
+func (a stackAPI) remove(g *wfe.Guard[uint64], _ uint64) (uint64, bool) {
+	if g == nil {
+		return a.s.Pop()
+	}
+	return a.s.PopGuarded(g)
+}
+func (a stackAPI) get(*wfe.Guard[uint64], uint64) (uint64, bool) { panic("stack: no get") }
+func (a stackAPI) put(*wfe.Guard[uint64], uint64, uint64)        { panic("stack: no put") }
+func (a stackAPI) length(g *wfe.Guard[uint64]) int {
+	if g == nil {
+		return a.s.Len()
+	}
+	return a.s.LenGuarded(g)
+}
+
+// fifoQueue is the shared method set of the three public FIFO queues
+// (Queue, WFQueue, TurnQueue); one adapter covers them all.
+type fifoQueue interface {
+	Enqueue(v uint64)
+	EnqueueGuarded(g *wfe.Guard[uint64], v uint64)
+	Dequeue() (uint64, bool)
+	DequeueGuarded(g *wfe.Guard[uint64]) (uint64, bool)
+	Len() int
+	LenGuarded(g *wfe.Guard[uint64]) int
+}
+
+type fifoAPI struct{ q fifoQueue }
+
+func (a fifoAPI) kind() conformKind { return fifoKind }
+func (a fifoAPI) insert(g *wfe.Guard[uint64], k uint64) bool {
+	if g == nil {
+		a.q.Enqueue(k)
+	} else {
+		a.q.EnqueueGuarded(g, k)
+	}
+	return true
+}
+func (a fifoAPI) remove(g *wfe.Guard[uint64], _ uint64) (uint64, bool) {
+	if g == nil {
+		return a.q.Dequeue()
+	}
+	return a.q.DequeueGuarded(g)
+}
+func (a fifoAPI) get(*wfe.Guard[uint64], uint64) (uint64, bool) { panic("queue: no get") }
+func (a fifoAPI) put(*wfe.Guard[uint64], uint64, uint64)        { panic("queue: no put") }
+func (a fifoAPI) length(g *wfe.Guard[uint64]) int {
+	if g == nil {
+		return a.q.Len()
+	}
+	return a.q.LenGuarded(g)
+}
+
+type hashMapAPI struct{ m *wfe.HashMap[uint64] }
+
+func (a hashMapAPI) kind() conformKind { return kvKind }
+func (a hashMapAPI) insert(g *wfe.Guard[uint64], k uint64) bool {
+	if g == nil {
+		return a.m.Insert(k, k*10)
+	}
+	return a.m.InsertGuarded(g, k, k*10)
+}
+func (a hashMapAPI) remove(g *wfe.Guard[uint64], k uint64) (uint64, bool) {
+	if g == nil {
+		return 0, a.m.Delete(k)
+	}
+	return 0, a.m.DeleteGuarded(g, k)
+}
+func (a hashMapAPI) get(g *wfe.Guard[uint64], k uint64) (uint64, bool) {
+	if g == nil {
+		return a.m.Get(k)
+	}
+	return a.m.GetGuarded(g, k)
+}
+func (a hashMapAPI) put(g *wfe.Guard[uint64], k, v uint64) {
+	if g == nil {
+		a.m.Put(k, v)
+	} else {
+		a.m.PutGuarded(g, k, v)
+	}
+}
+func (a hashMapAPI) length(g *wfe.Guard[uint64]) int {
+	if g == nil {
+		return a.m.Len()
+	}
+	return a.m.LenGuarded(g)
+}
+
+type treeAPI struct{ t *wfe.Tree[uint64] }
+
+func (a treeAPI) kind() conformKind { return kvKind }
+func (a treeAPI) insert(g *wfe.Guard[uint64], k uint64) bool {
+	if g == nil {
+		return a.t.Insert(k, k*10)
+	}
+	return a.t.InsertGuarded(g, k, k*10)
+}
+func (a treeAPI) remove(g *wfe.Guard[uint64], k uint64) (uint64, bool) {
+	if g == nil {
+		return 0, a.t.Delete(k)
+	}
+	return 0, a.t.DeleteGuarded(g, k)
+}
+func (a treeAPI) get(g *wfe.Guard[uint64], k uint64) (uint64, bool) {
+	if g == nil {
+		return a.t.Get(k)
+	}
+	return a.t.GetGuarded(g, k)
+}
+func (a treeAPI) put(g *wfe.Guard[uint64], k, v uint64) {
+	if g == nil {
+		a.t.Put(k, v)
+	} else {
+		a.t.PutGuarded(g, k, v)
+	}
+}
+func (a treeAPI) length(g *wfe.Guard[uint64]) int {
+	if g == nil {
+		return a.t.Len()
+	}
+	return a.t.LenGuarded(g)
+}
+
+// conformStructures is the structure axis of the matrix. Map is an alias
+// of HashMap (see TestMapIsHashMap) and needs no row of its own.
+var conformStructures = []struct {
+	name  string
+	build func(d *wfe.Domain[uint64]) conformAPI
+}{
+	{"Stack", func(d *wfe.Domain[uint64]) conformAPI { return stackAPI{wfe.NewStack[uint64](d)} }},
+	{"Queue", func(d *wfe.Domain[uint64]) conformAPI { return fifoAPI{wfe.NewQueue[uint64](d)} }},
+	{"WFQueue", func(d *wfe.Domain[uint64]) conformAPI { return fifoAPI{wfe.NewWFQueue[uint64](d)} }},
+	{"TurnQueue", func(d *wfe.Domain[uint64]) conformAPI { return fifoAPI{wfe.NewTurnQueue[uint64](d)} }},
+	{"HashMap", func(d *wfe.Domain[uint64]) conformAPI { return hashMapAPI{wfe.NewHashMap[uint64](d, 64)} }},
+	{"Tree", func(d *wfe.Domain[uint64]) conformAPI { return treeAPI{wfe.NewTree[uint64](d)} }},
+}
+
+// acquisitionPaths is the third matrix axis: how each concurrent worker
+// obtains its guard. body receives nil for the guardless path.
+var acquisitionPaths = []struct {
+	name string
+	run  func(d *wfe.Domain[uint64], iters int, body func(i int, g *wfe.Guard[uint64]))
+}{
+	{"guardless", func(d *wfe.Domain[uint64], iters int, body func(int, *wfe.Guard[uint64])) {
+		for i := 0; i < iters; i++ {
+			body(i, nil)
+		}
+	}},
+	{"pinned", func(d *wfe.Domain[uint64], iters int, body func(int, *wfe.Guard[uint64])) {
+		g := d.Pin()
+		defer d.Unpin(g)
+		for i := 0; i < iters; i++ {
+			body(i, g)
+		}
+	}},
+	{"acquire-per-op", func(d *wfe.Domain[uint64], iters int, body func(int, *wfe.Guard[uint64])) {
+		for i := 0; i < iters; i++ {
+			g, err := d.AcquireGuard(context.Background())
+			if err != nil {
+				panic(err)
+			}
+			body(i, g)
+			g.Release()
+		}
+	}},
+}
+
+const (
+	conformGuards   = 4
+	conformKeyRange = 32
+)
+
+// TestConformance is the full structure × scheme × acquisition-path matrix.
+func TestConformance(t *testing.T) {
+	for _, st := range conformStructures {
+		t.Run(st.name, func(t *testing.T) {
+			forEachScheme(t, func(t *testing.T, kind wfe.SchemeKind, forceSlow bool) {
+				if testing.Short() && forceSlow {
+					t.Skip("forced-slow variants are full-mode only")
+				}
+				capacity := 1 << 16
+				if kind == wfe.Leak {
+					capacity = 1 << 19 // Leak never recycles churn
+				}
+				d := testDomain(t, kind, conformGuards, capacity, forceSlow)
+				api := st.build(d)
+
+				conformModelPhase(t, d, api)
+				for _, path := range acquisitionPaths {
+					if testing.Short() && path.name != "guardless" {
+						continue
+					}
+					t.Run(path.name, func(t *testing.T) {
+						switch api.kind() {
+						case lifoKind, fifoKind:
+							conformSequencePhase(t, d, api, path.run)
+						case kvKind:
+							conformKVPhase(t, d, api, path.run)
+						}
+					})
+				}
+				conformDrainPhase(t, d, api, kind)
+			})
+		})
+	}
+}
+
+// conformModelPhase checks sequential semantics against an oracle through
+// an explicit Guard (the third acquisition style, covered here once).
+func conformModelPhase(t *testing.T, d *wfe.Domain[uint64], api conformAPI) {
+	t.Helper()
+	g := d.Guard()
+	defer g.Release()
+
+	switch api.kind() {
+	case lifoKind, fifoKind:
+		if _, ok := api.remove(g, 0); ok {
+			t.Fatal("remove from empty structure succeeded")
+		}
+		for v := uint64(1); v <= 100; v++ {
+			api.insert(g, v)
+		}
+		if n := api.length(g); n != 100 {
+			t.Fatalf("Len = %d, want 100", n)
+		}
+		for i := 0; i < 100; i++ {
+			want := uint64(i + 1) // FIFO order
+			if api.kind() == lifoKind {
+				want = uint64(100 - i)
+			}
+			got, ok := api.remove(g, 0)
+			if !ok || got != want {
+				t.Fatalf("remove #%d = %d,%v, want %d,true", i, got, ok, want)
+			}
+		}
+		if _, ok := api.remove(g, 0); ok {
+			t.Fatal("remove from drained structure succeeded")
+		}
+	case kvKind:
+		model := make(map[uint64]uint64)
+		rng := rand.New(rand.NewSource(1))
+		ops := 4000
+		if testing.Short() {
+			ops = 1000
+		}
+		for i := 0; i < ops; i++ {
+			key := uint64(rng.Intn(conformKeyRange + 16))
+			oracleStep(t, api, g, model, i, rng.Intn(4), key)
+		}
+		if n := api.length(g); n != len(model) {
+			t.Fatalf("Len = %d, model has %d keys", n, len(model))
+		}
+		for key := range model { // leave the structure empty for what follows
+			if _, ok := api.remove(g, key); !ok {
+				t.Fatalf("drain: delete(%d) failed", key)
+			}
+		}
+	}
+}
+
+// oracleStep applies one kv operation (op 0..3: insert/delete/get/put) to
+// both the structure and a plain Go-map oracle, failing on any divergence.
+// The conformance model phase and the fuzz targets share it so both check
+// the same contract: Insert stores key*10 and reports first-insertion,
+// Put stores op-index+1 unconditionally.
+func oracleStep(t *testing.T, api conformAPI, g *wfe.Guard[uint64],
+	model map[uint64]uint64, i, op int, key uint64) {
+	t.Helper()
+	switch op {
+	case 0: // insert
+		_, dup := model[key]
+		if got := api.insert(g, key); got == dup {
+			t.Fatalf("op %d: insert(%d) = %v, model has key: %v", i, key, got, dup)
+		}
+		if !dup {
+			model[key] = key * 10
+		}
+	case 1: // delete
+		_, want := model[key]
+		if _, got := api.remove(g, key); got != want {
+			t.Fatalf("op %d: delete(%d) = %v, model says %v", i, key, got, want)
+		}
+		delete(model, key)
+	case 2: // get
+		wantV, want := model[key]
+		gotV, got := api.get(g, key)
+		if got != want || (got && gotV != wantV) {
+			t.Fatalf("op %d: get(%d) = %d,%v, model says %d,%v", i, key, gotV, got, wantV, want)
+		}
+	case 3: // put
+		api.put(g, key, uint64(i)+1)
+		model[key] = uint64(i) + 1
+	}
+}
+
+// conformSequencePhase checks exactly-once delivery under concurrency for
+// stacks and queues: every inserted value is removed exactly once, verified
+// by a commutative checksum over producers, consumers and the final drain.
+func conformSequencePhase(t *testing.T, d *wfe.Domain[uint64], api conformAPI,
+	run func(d *wfe.Domain[uint64], iters int, body func(int, *wfe.Guard[uint64]))) {
+	t.Helper()
+	const workers, perWorker = 4, 1000
+	var produced, consumed [workers]uint64
+	var removed [workers]uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			run(d, perWorker, func(i int, g *wfe.Guard[uint64]) {
+				v := uint64(w*perWorker+i) + 1
+				api.insert(g, v)
+				produced[w] += v
+				if v, ok := api.remove(g, 0); ok {
+					consumed[w] += v
+					removed[w]++
+				}
+			})
+		}(w)
+	}
+	wg.Wait()
+
+	g := d.Guard()
+	defer g.Release()
+	var prodSum, consSum, nRemoved uint64
+	for w := 0; w < workers; w++ {
+		prodSum += produced[w]
+		consSum += consumed[w]
+		nRemoved += removed[w]
+	}
+	for {
+		v, ok := api.remove(g, 0)
+		if !ok {
+			break
+		}
+		consSum += v
+		nRemoved++
+	}
+	if nRemoved != workers*perWorker || prodSum != consSum {
+		t.Fatalf("lost or duplicated values: removed %d/%d, checksums %d vs %d",
+			nRemoved, workers*perWorker, consSum, prodSum)
+	}
+}
+
+// conformKVPhase checks membership consistency under concurrency for maps
+// and trees: per key, successful inserts and deletes can differ by at most
+// one, and the difference equals the final membership.
+func conformKVPhase(t *testing.T, d *wfe.Domain[uint64], api conformAPI,
+	run func(d *wfe.Domain[uint64], iters int, body func(int, *wfe.Guard[uint64]))) {
+	t.Helper()
+	const workers, iters = 4, 1000
+	type counters struct{ ins, del [conformKeyRange]uint64 }
+	perWorker := make([]counters, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 42))
+			c := &perWorker[w]
+			run(d, iters, func(i int, g *wfe.Guard[uint64]) {
+				key := uint64(rng.Intn(conformKeyRange))
+				switch rng.Intn(3) {
+				case 0:
+					if api.insert(g, key) {
+						c.ins[key]++
+					}
+				case 1:
+					if _, ok := api.remove(g, key); ok {
+						c.del[key]++
+					}
+				case 2:
+					api.get(g, key)
+				}
+			})
+		}(w)
+	}
+	wg.Wait()
+
+	g := d.Guard()
+	defer g.Release()
+	for key := uint64(0); key < conformKeyRange; key++ {
+		var ins, del uint64
+		for w := range perWorker {
+			ins += perWorker[w].ins[key]
+			del += perWorker[w].del[key]
+		}
+		net := int64(ins) - int64(del)
+		if net != 0 && net != 1 {
+			t.Fatalf("key %d net count %d (ins=%d del=%d)", key, net, ins, del)
+		}
+		if _, got := api.get(g, key); got != (net == 1) {
+			t.Fatalf("key %d present=%v but net=%d", key, got, net)
+		}
+		if net == 1 { // leave the structure empty for the drain phase
+			if _, ok := api.remove(g, key); !ok {
+				t.Fatalf("drain: delete(%d) failed", key)
+			}
+		}
+	}
+}
+
+// conformDrainPhase asserts quiescent cleanliness after the churn: the
+// structure is empty, every guard is back in the pool, and (for reclaiming
+// schemes) the retired-block backlog collapses once each tid's retire list
+// gets a settling scan.
+func conformDrainPhase(t *testing.T, d *wfe.Domain[uint64], api conformAPI, kind wfe.SchemeKind) {
+	t.Helper()
+	g := d.Guard()
+	if api.kind() != kvKind {
+		for {
+			if _, ok := api.remove(g, 0); !ok {
+				break
+			}
+		}
+	}
+	if n := api.length(g); n != 0 {
+		g.Release()
+		t.Fatalf("structure not empty after drain: Len = %d", n)
+	}
+	g.Release()
+
+	quiesce.Settle(d)
+	if err := quiesce.Check(d, kind != wfe.Leak); err != nil {
+		t.Fatal(err) // the leak baseline never reclaims by design, so it skips the backlog check
+	}
+}
+
+// TestTreeKeyRange pins the sentinel-key guard: keys above TreeKeyMax
+// collide with the ∞1/∞2 skeleton — a Delete there would unlink the S
+// sentinel itself — so every entry point must reject them loudly.
+func TestTreeKeyRange(t *testing.T) {
+	d := testDomain(t, wfe.WFE, 2, 1<<10, false)
+	tr := wfe.NewTree[uint64](d)
+	if !tr.Insert(wfe.TreeKeyMax, 1) {
+		t.Fatal("TreeKeyMax itself must be insertable")
+	}
+	for name, op := range map[string]func(){
+		"Insert": func() { tr.Insert(wfe.TreeKeyMax+1, 0) },
+		"Delete": func() { tr.Delete(^uint64(0)) },
+		"Get":    func() { tr.Get(^uint64(0)) },
+		"Put":    func() { tr.Put(wfe.TreeKeyMax+1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s of a sentinel-range key did not panic", name)
+				}
+			}()
+			op()
+		}()
+	}
+	if n := tr.Len(); n != 1 {
+		t.Fatalf("Len = %d after rejected sentinel-range ops, want 1", n)
+	}
+}
+
+// TestMapIsHashMap pins the Map = HashMap alias: the original name and the
+// canonical paper name are one type, not two implementations.
+func TestMapIsHashMap(t *testing.T) {
+	d := testDomain(t, wfe.WFE, 2, 1<<10, false)
+	var m *wfe.Map[uint64] = wfe.NewHashMap[uint64](d, 8) // assignability is the alias proof
+	var h *wfe.HashMap[uint64] = m
+	h.Put(1, 10)
+	if v, ok := m.Get(1); !ok || v != 10 {
+		t.Fatalf("alias round trip: Get = %d,%v", v, ok)
+	}
+}

@@ -17,11 +17,18 @@
 //     protected reads
 //     (Protect/ProtectWord), retirement (Retire) and operation brackets
 //     (Begin/End) go through it.
-//   - Ref[T] and Atomic[T] — typed block references (with Harris–Michael
-//     mark-bit support) and atomic root links, replacing the raw uint64
-//     handle plumbing of the internal layer.
-//   - Stack[T], Queue[T], Map[T] — Treiber stack, Michael–Scott queue and
-//     Michael's hash map, pre-built on the Domain primitives.
+//   - Ref[T] and Atomic[T] — typed block references (with mark- and
+//     flag-bit support for logical deletion and the Natarajan–Mittal
+//     tag) and atomic root links, replacing the raw uint64 handle
+//     plumbing of the internal layer.
+//   - Stack[T] and Queue[T] — Treiber stack and Michael–Scott queue,
+//     pre-built on the Domain primitives.
+//   - WFQueue[T] and TurnQueue[T] — the paper's two wait-free queues
+//     (Kogan–Petrank and CRTurn, Figure 5): combined with the WFE scheme
+//     they are wait-free end to end, reclamation included.
+//   - HashMap[T] (alias Map[T]) and Tree[T] — Michael's hash map and the
+//     Natarajan–Mittal external BST, the paper's search-structure
+//     workloads (Figures 7, 8, 10, 11).
 //
 // The guard runtime decouples goroutines from the paper's fixed thread
 // slots: the structures' plain methods are guardless (each operation
@@ -38,7 +45,11 @@
 //	domain.go           Domain[T], Guard, Ref[T], Atomic[T], SchemeKind
 //	stack.go            public Treiber stack
 //	queue.go            public Michael–Scott queue
-//	map.go              public lock-free hash map
+//	wfqueue.go          public Kogan–Petrank wait-free queue
+//	turnqueue.go        public CRTurn wait-free queue
+//	hashmap.go          public lock-free hash map (HashMap)
+//	map.go              Map, the hash map's original alias
+//	tree.go             public Natarajan–Mittal BST
 //	internal/core       WFE, the paper's contribution (Figure 4)
 //	internal/he         Hazard Eras (Figure 1)
 //	internal/hp         Hazard Pointers
@@ -58,8 +69,10 @@
 //	examples/...        runnable walkthroughs of the public API
 //
 // The internal/ds structures speak the internal reclaim.Scheme interface
-// directly and remain the benchmark substrate; the public Stack, Queue and
-// Map are their Domain-API counterparts. The benchmarks in bench_test.go
-// measure one configuration per paper figure; cmd/wfebench performs the
-// full thread sweeps.
+// directly and remain the benchmark substrate; every structure of the
+// paper's evaluation now also has a public Domain-API counterpart —
+// conformance_test.go runs all of them through every scheme × acquisition
+// path. The benchmarks in bench_test.go measure one configuration per
+// paper figure; cmd/wfebench performs the full thread sweeps, including
+// the public-API workloads experiment (-ablation workloads).
 package wfe

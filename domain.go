@@ -101,7 +101,9 @@ type Options struct {
 	// runtime.GOMAXPROCS(0)).
 	MaxGuards int
 	// MaxSlots is the number of protection slots per guard (paper: max_hes;
-	// default 8). Stack needs 1, Queue 2, Map 3.
+	// default 8). Of the built-in structures, Stack needs 1, Queue and
+	// TurnQueue 2, Map/HashMap and WFQueue 3, and Tree 4; the default
+	// covers them all.
 	MaxSlots int
 	// EraFreq is ν, the allocations per guard between era-clock increments
 	// (default 150, the paper's §5 value).
@@ -126,8 +128,8 @@ type Options struct {
 // error (caught in Debug mode when handles go out of range).
 //
 // A Domain is the public face of the paper's reclamation API. The built-in
-// Stack, Queue and Map lease guards from the Domain internally, so simple
-// use never touches a Guard:
+// structures (Stack, Queue, WFQueue, TurnQueue, HashMap/Map, Tree) lease
+// guards from the Domain internally, so simple use never touches a Guard:
 //
 //	d, _ := wfe.NewDomain[string](wfe.Options{Scheme: wfe.WFE})
 //	s := wfe.NewStack[string](d)
@@ -491,6 +493,23 @@ func (r Ref[T]) WithMark() Ref[T] { return Ref[T]{r.link | pack.MarkBit} }
 // Unmarked returns the Ref with the mark bit cleared.
 func (r Ref[T]) Unmarked() Ref[T] { return Ref[T]{r.link &^ pack.MarkBit} }
 
+// Flagged reports whether the Ref carries the second spare link bit. The
+// Natarajan–Mittal tree uses it as the tag that freezes a sibling edge
+// while a deletion moves the sibling up; any custom structure may use it as
+// a second per-link state bit alongside the mark.
+func (r Ref[T]) Flagged() bool { return r.link&pack.FlagBit != 0 }
+
+// WithFlag returns the Ref with the second spare link bit set. Like the
+// mark, the flag travels with the link, not the block.
+func (r Ref[T]) WithFlag() Ref[T] { return Ref[T]{r.link | pack.FlagBit} }
+
+// Unflagged returns the Ref with the second spare link bit cleared.
+func (r Ref[T]) Unflagged() Ref[T] { return Ref[T]{r.link &^ pack.FlagBit} }
+
+// Clean returns the Ref with both spare link bits (mark and flag) cleared:
+// the bare block reference a traversal follows.
+func (r Ref[T]) Clean() Ref[T] { return Ref[T]{r.link &^ (pack.MarkBit | pack.FlagBit)} }
+
 func (r Ref[T]) handle() mem.Handle { return r.link & pack.HandleMask }
 
 // An Atomic[T] is an atomic link cell holding a Ref[T] — the root pointer
@@ -531,8 +550,8 @@ func (a *Atomic[T]) CompareAndSwap(old, new Ref[T]) bool {
 //
 // A custom data structure built on Guards follows the paper's operation
 // shape: Begin, any number of Protect/Load/Store/CompareAndSwap/Retire
-// calls, then End. The built-in Stack, Queue and Map do this internally —
-// their callers at most lease the Guard.
+// calls, then End. The built-in structures do this internally — their
+// callers at most lease the Guard.
 type Guard[T any] struct {
 	d   *Domain[T]
 	tid int
@@ -598,6 +617,13 @@ func (g *Guard[T]) Dealloc(r Ref[T]) { g.d.arena.Free(g.tid, r.handle()) }
 // reclamation scheme, which recycles it once no protected reader can still
 // hold it. Retire does not release the caller's own protection — the
 // caller may keep using the block until End.
+//
+// Retirement is per-tid, not per-goroutine: a block retired through a
+// leased guard (the guardless structure methods, or Pin/Unpin batches)
+// joins the same per-tid retire list an explicit Guard would use, and its
+// cleanup scan may run later under whichever goroutine next leases that
+// tid. All three acquisition paths therefore share one retire discipline;
+// none can strand a retired block.
 func (g *Guard[T]) Retire(r Ref[T]) { g.d.smr.Retire(g.tid, r.handle()) }
 
 // Protect reads a structure-root link and protects the referenced block

@@ -1,13 +1,9 @@
-// Conformance suite for the public Domain API: every built-in structure is
-// run through every SchemeKind, sequentially against a model and
-// concurrently under invariant checks, with the arena's use-after-free
-// detection armed — the dstest discipline, lifted to the typed façade.
-// CI runs this file under -race.
+// Domain-level tests of the public API: guard accounting, telemetry,
+// option validation and the generic value slab. The per-structure
+// conformance matrix lives in conformance_test.go.
 package wfe_test
 
 import (
-	"math/rand"
-	"sync"
 	"testing"
 
 	"wfe"
@@ -41,258 +37,6 @@ func forEachScheme(t *testing.T, f func(t *testing.T, kind wfe.SchemeKind, force
 	for _, kind := range []wfe.SchemeKind{wfe.WFE, wfe.WFEIBR} {
 		t.Run(kind.String()+"-slow", func(t *testing.T) { f(t, kind, true) })
 	}
-}
-
-func TestStackConformance(t *testing.T) {
-	forEachScheme(t, func(t *testing.T, kind wfe.SchemeKind, forceSlow bool) {
-		d := testDomain(t, kind, 4, 1<<16, forceSlow)
-		s := wfe.NewStack[uint64](d)
-		g := d.Guard()
-
-		// Sequential LIFO semantics.
-		if _, ok := s.PopGuarded(g); ok {
-			t.Fatal("pop from empty stack succeeded")
-		}
-		for v := uint64(1); v <= 100; v++ {
-			s.PushGuarded(g, v)
-		}
-		if n := s.LenGuarded(g); n != 100 {
-			t.Fatalf("Len = %d, want 100", n)
-		}
-		for v := uint64(100); v >= 1; v-- {
-			got, ok := s.PopGuarded(g)
-			if !ok || got != v {
-				t.Fatalf("Pop = %d,%v, want %d,true", got, ok, v)
-			}
-		}
-		g.Release()
-
-		// Concurrent churn: every value pushed is popped exactly once.
-		const workers, perWorker = 4, 2000
-		sums := make([]uint64, workers)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				g := d.Guard()
-				defer g.Release()
-				for i := 0; i < perWorker; i++ {
-					s.PushGuarded(g, uint64(w*perWorker+i+1))
-					if v, ok := s.PopGuarded(g); ok {
-						sums[w] += v
-					}
-				}
-			}(w)
-		}
-		wg.Wait()
-		g = d.Guard()
-		defer g.Release()
-		var total uint64
-		for _, s := range sums {
-			total += s
-		}
-		for {
-			v, ok := s.PopGuarded(g)
-			if !ok {
-				break
-			}
-			total += v
-		}
-		const n = workers * perWorker
-		if want := uint64(n * (n + 1) / 2); total != want {
-			t.Fatalf("stack lost or duplicated values: sum %d, want %d", total, want)
-		}
-	})
-}
-
-func TestQueueConformance(t *testing.T) {
-	forEachScheme(t, func(t *testing.T, kind wfe.SchemeKind, forceSlow bool) {
-		d := testDomain(t, kind, 4, 1<<16, forceSlow)
-		q := wfe.NewQueue[uint64](d)
-		g := d.Guard()
-
-		// Sequential FIFO semantics.
-		if _, ok := q.DequeueGuarded(g); ok {
-			t.Fatal("dequeue from empty queue succeeded")
-		}
-		for v := uint64(1); v <= 100; v++ {
-			q.EnqueueGuarded(g, v)
-		}
-		if n := q.LenGuarded(g); n != 100 {
-			t.Fatalf("Len = %d, want 100", n)
-		}
-		for v := uint64(1); v <= 100; v++ {
-			got, ok := q.DequeueGuarded(g)
-			if !ok || got != v {
-				t.Fatalf("Dequeue = %d,%v, want %d,true", got, ok, v)
-			}
-		}
-		g.Release()
-
-		// Concurrent producers/consumers: exactly-once delivery, checked by
-		// commutative checksum.
-		const producers, consumers, perProd = 2, 2, 3000
-		var produced, consumed, delivered [producers + consumers]uint64
-		var wg, cwg sync.WaitGroup
-		done := make(chan struct{})
-		for p := 0; p < producers; p++ {
-			wg.Add(1)
-			go func(p int) {
-				defer wg.Done()
-				g := d.Guard()
-				defer g.Release()
-				for i := 0; i < perProd; i++ {
-					v := uint64(p)<<32 | uint64(i+1)
-					q.EnqueueGuarded(g, v)
-					produced[p] += v
-				}
-			}(p)
-		}
-		for c := 0; c < consumers; c++ {
-			cwg.Add(1)
-			go func(c int) {
-				defer cwg.Done()
-				g := d.Guard()
-				defer g.Release()
-				for {
-					v, ok := q.DequeueGuarded(g)
-					if !ok {
-						select {
-						case <-done:
-							if v, ok := q.DequeueGuarded(g); ok { // drain after the flag
-								consumed[producers+c] += v
-								delivered[producers+c]++
-								continue
-							}
-							return
-						default:
-							continue
-						}
-					}
-					consumed[producers+c] += v
-					delivered[producers+c]++
-				}
-			}(c)
-		}
-		wg.Wait()
-		close(done)
-		cwg.Wait()
-
-		var prodSum, consSum, nDelivered uint64
-		for i := range produced {
-			prodSum += produced[i]
-			consSum += consumed[i]
-			nDelivered += delivered[i]
-		}
-		if nDelivered != producers*perProd || prodSum != consSum {
-			t.Fatalf("queue lost or duplicated values: delivered %d/%d, checksums %d vs %d",
-				nDelivered, producers*perProd, consSum, prodSum)
-		}
-	})
-}
-
-func TestMapConformance(t *testing.T) {
-	forEachScheme(t, func(t *testing.T, kind wfe.SchemeKind, forceSlow bool) {
-		capacity := 1 << 17
-		if kind == wfe.Leak {
-			capacity = 1 << 19 // Leak never recycles Put/Delete churn
-		}
-		d := testDomain(t, kind, 4, capacity, forceSlow)
-		m := wfe.NewMap[uint64](d, 64)
-		g := d.Guard()
-
-		// Model equivalence on a random op sequence.
-		model := make(map[uint64]uint64)
-		rng := rand.New(rand.NewSource(1))
-		for i := 0; i < 4000; i++ {
-			key := uint64(rng.Intn(48))
-			switch rng.Intn(4) {
-			case 0:
-				_, dup := model[key]
-				if got := m.InsertGuarded(g, key, key*10); got == dup {
-					t.Fatalf("op %d: Insert(%d) = %v, model has key: %v", i, key, got, dup)
-				}
-				if !dup {
-					model[key] = key * 10
-				}
-			case 1:
-				_, want := model[key]
-				if got := m.DeleteGuarded(g, key); got != want {
-					t.Fatalf("op %d: Delete(%d) = %v, model says %v", i, key, got, want)
-				}
-				delete(model, key)
-			case 2:
-				wantV, want := model[key]
-				gotV, got := m.GetGuarded(g, key)
-				if got != want || (got && gotV != wantV) {
-					t.Fatalf("op %d: Get(%d) = %d,%v, model says %d,%v", i, key, gotV, got, wantV, want)
-				}
-			case 3:
-				m.PutGuarded(g, key, uint64(i))
-				model[key] = uint64(i)
-			}
-		}
-		if n := m.LenGuarded(g); n != len(model) {
-			t.Fatalf("Len = %d, model has %d keys", n, len(model))
-		}
-		for key := range model { // drain: the stress phase assumes an empty map
-			if !m.DeleteGuarded(g, key) {
-				t.Fatalf("drain: Delete(%d) failed", key)
-			}
-		}
-		g.Release()
-
-		// Concurrent stress: per-key inserts and deletes strictly alternate,
-		// so netInserts-netDeletes ∈ {0,1} equals the final membership.
-		const workers, keyRange, iters = 4, 48, 4000
-		type counters struct{ ins, del [keyRange]uint64 }
-		perWorker := make([]counters, workers)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				g := d.Guard()
-				defer g.Release()
-				rng := rand.New(rand.NewSource(int64(w) + 42))
-				c := &perWorker[w]
-				for i := 0; i < iters; i++ {
-					key := uint64(rng.Intn(keyRange))
-					switch rng.Intn(3) {
-					case 0:
-						if m.InsertGuarded(g, key, key) {
-							c.ins[key]++
-						}
-					case 1:
-						if m.DeleteGuarded(g, key) {
-							c.del[key]++
-						}
-					case 2:
-						m.GetGuarded(g, key)
-					}
-				}
-			}(w)
-		}
-		wg.Wait()
-
-		g = d.Guard()
-		defer g.Release()
-		for key := uint64(0); key < keyRange; key++ {
-			var ins, del uint64
-			for w := range perWorker {
-				ins += perWorker[w].ins[key]
-				del += perWorker[w].del[key]
-			}
-			net := int64(ins) - int64(del)
-			if net != 0 && net != 1 {
-				t.Fatalf("key %d net count %d (ins=%d del=%d)", key, net, ins, del)
-			}
-			if _, got := m.GetGuarded(g, key); got != (net == 1) {
-				t.Fatalf("key %d present=%v but net=%d", key, got, net)
-			}
-		}
-	})
 }
 
 // TestValueTypes checks that the value slab really is generic: a pointer-

@@ -108,6 +108,93 @@ func ExampleMap() {
 	// deleted: true
 }
 
+// ExampleWFQueue: the Kogan–Petrank wait-free queue — with the WFE scheme
+// every operation, memory reclamation included, completes in a bounded
+// number of steps. Values of any type travel through the queue's
+// fixed-width helping protocol in private boxed blocks.
+func ExampleWFQueue() {
+	d, _ := wfe.NewDomain[string](wfe.Options{Capacity: 1 << 10})
+	q := wfe.NewWFQueue[string](d)
+
+	q.Enqueue("first")
+	q.Enqueue("second")
+	for {
+		v, ok := q.Dequeue()
+		if !ok {
+			break
+		}
+		fmt.Println(v)
+	}
+	// Output:
+	// first
+	// second
+}
+
+// ExampleTurnQueue: the CRTurn wait-free queue. Enqueuers and dequeuers
+// announce their operations and helpers complete them in turn order, so
+// every call finishes within one full turn regardless of scheduling.
+func ExampleTurnQueue() {
+	// The turn protocol registers every guard tid, and its claim word
+	// holds at most 254 of them — size MaxGuards explicitly rather than
+	// inheriting GOMAXPROCS on a huge machine.
+	d, _ := wfe.NewDomain[string](wfe.Options{Capacity: 1 << 10, MaxGuards: 4})
+	q := wfe.NewTurnQueue[string](d)
+
+	q.Enqueue("first")
+	q.Enqueue("second")
+	for {
+		v, ok := q.Dequeue()
+		if !ok {
+			break
+		}
+		fmt.Println(v)
+	}
+	// Output:
+	// first
+	// second
+}
+
+// ExampleHashMap: Michael's lock-free hash map under its canonical name
+// (Map is an alias). Guardless use from any number of goroutines.
+func ExampleHashMap() {
+	d, _ := wfe.NewDomain[string](wfe.Options{Capacity: 1 << 10})
+	m := wfe.NewHashMap[string](d, 16)
+
+	m.Put(1, "one")
+	m.Insert(2, "two")
+	if v, ok := m.Get(1); ok {
+		fmt.Println(v)
+	}
+	m.Delete(1)
+	_, ok := m.Get(1)
+	fmt.Println("deleted:", !ok)
+	// Output:
+	// one
+	// deleted: true
+}
+
+// ExampleTree: the Natarajan–Mittal external binary search tree. Keys are
+// ordered uint64s up to TreeKeyMax; values any T.
+func ExampleTree() {
+	d, _ := wfe.NewDomain[string](wfe.Options{Capacity: 1 << 10})
+	t := wfe.NewTree[string](d)
+
+	t.Insert(2, "two")
+	t.Insert(1, "one")
+	t.Insert(3, "three")
+	if v, ok := t.Get(2); ok {
+		fmt.Println(v)
+	}
+	t.Delete(2)
+	_, ok := t.Get(2)
+	fmt.Println("deleted:", !ok)
+	fmt.Println("len:", t.Len())
+	// Output:
+	// two
+	// deleted: true
+	// len: 2
+}
+
 // ExampleDomain_Pin hoists the guardless path's per-operation lease out of
 // a loop: Pin once, run the batch through the Guarded variants, Unpin. The
 // guard returns to the lease cache, not the pool, so the next Pin on this

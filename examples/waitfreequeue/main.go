@@ -10,8 +10,9 @@
 // reclamation census. Producers and consumers pin a guard for their whole
 // run (the hot-loop path of the guard runtime) and drive the queue through
 // the Guarded method variants; the paper's fully wait-free Kogan–Petrank
-// and CRTurn queues live in internal/ds as the benchmark substrate — swap
-// them in with cmd/wfebench -figure 5a.
+// and CRTurn queues are public too (wfe.WFQueue, wfe.TurnQueue) — see
+// examples/waitfreeworkloads for all four promoted evaluation structures
+// on one Domain.
 //
 // Run with:
 //

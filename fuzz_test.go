@@ -1,0 +1,108 @@
+// Fuzz targets for the promoted kv workloads: random operation sequences
+// run against a plain Go map oracle, with the debug arena's use-after-free
+// detection armed and the reclamation scheme itself fuzzed (the first
+// input byte selects the SchemeKind and, for the wait-free schemes, the
+// forced-slow-path stress mode). CI runs a short `go test -fuzz` smoke for
+// each target; the seed corpus covers every operation and the
+// collision-heavy small-key regime.
+package wfe_test
+
+import (
+	"testing"
+
+	"wfe"
+)
+
+// Each input byte past the selector is one operation: the top two bits
+// select the op, the low six the key — small key ranges maximise chain and
+// subtree collisions, which is where reclamation bugs live. fuzzMaxOps
+// bounds the decoded sequence so a huge input cannot exhaust the arena.
+const fuzzMaxOps = 2048
+
+// fuzzDomain builds the Debug-mode domain a fuzz run mutates. The selector
+// byte picks the scheme (low bits) and the forced-slow-path mode (top bit).
+// blocksPerOp is the structure's worst-case allocations per operation; it
+// sizes the arena so even the never-recycling Leak baseline cannot exhaust
+// it within fuzzMaxOps operations.
+func fuzzDomain(t *testing.T, sel byte, blocksPerOp int) *wfe.Domain[uint64] {
+	schemes := wfe.AllSchemes()
+	kind := schemes[int(sel&0x7F)%len(schemes)]
+	capacity := blocksPerOp*fuzzMaxOps + 64
+	d, err := wfe.NewDomain[uint64](wfe.Options{
+		Scheme:        kind,
+		Capacity:      capacity,
+		MaxGuards:     2,
+		EraFreq:       16,
+		CleanupFreq:   4,
+		ForceSlowPath: sel&0x80 != 0,
+		Debug:         true,
+	})
+	if err != nil {
+		t.Fatal(err) // inside the fuzz target only t, never f, may report
+	}
+	return d
+}
+
+// fuzzSeeds is the shared seed corpus: every op class, duplicate inserts,
+// delete-then-get, put-replace churn, and a long mixed sequence.
+func fuzzSeeds(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{0, 0x01, 0x41, 0x81, 0xC1})                                  // insert/delete/get/put on one key
+	f.Add([]byte{1, 0x05, 0x05, 0x45, 0x85, 0xC5, 0x45})                      // duplicate insert, delete twice
+	f.Add([]byte{3, 0xC2, 0xC2, 0xC2, 0x42, 0x82})                            // put-replace churn then delete
+	f.Add([]byte{0x84, 0x01, 0x02, 0x03, 0x41, 0x42, 0x43, 0x81, 0x82, 0x83}) // slow path
+	long := []byte{2}
+	for i := 0; i < 64; i++ {
+		long = append(long, byte(i*37))
+	}
+	f.Add(long)
+}
+
+// runKVFuzz drives one decoded op sequence against the structure and a
+// map oracle, checking every result, then audits Len and every surviving
+// key's value.
+func runKVFuzz(t *testing.T, d *wfe.Domain[uint64], api conformAPI, data []byte) {
+	model := make(map[uint64]uint64)
+	g := d.Pin()
+	defer d.Unpin(g)
+	ops := data
+	if len(ops) > fuzzMaxOps {
+		ops = ops[:fuzzMaxOps]
+	}
+	for i, b := range ops {
+		oracleStep(t, api, g, model, i, int(b>>6), uint64(b&0x3F))
+	}
+	if n := api.length(g); n != len(model) {
+		t.Fatalf("Len = %d, model has %d keys", n, len(model))
+	}
+	for key, wantV := range model {
+		gotV, ok := api.get(g, key)
+		if !ok || gotV != wantV {
+			t.Fatalf("final get(%d) = %d,%v, model says %d,true", key, gotV, ok, wantV)
+		}
+	}
+}
+
+func FuzzHashMap(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		d := fuzzDomain(t, data[0], 1)
+		m := wfe.NewHashMap[uint64](d, 8) // few buckets: long chains
+		runKVFuzz(t, d, hashMapAPI{m}, data[1:])
+	})
+}
+
+func FuzzTree(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		d := fuzzDomain(t, data[0], 2) // insert allocates a leaf and a router
+		tr := wfe.NewTree[uint64](d)
+		runKVFuzz(t, d, treeAPI{tr}, data[1:])
+	})
+}

@@ -1,3 +1,3 @@
 module wfe
 
-go 1.22
+go 1.24

@@ -248,14 +248,12 @@ func (t *Tree) Delete(tid int, key uint64) bool {
 	a := t.smr.Arena()
 	var sr seekRecord
 	// Injection phase.
-	var target mem.Handle
 	for {
 		t.seek(tid, key, &sr)
 		if a.Key(sr.leaf) != key {
 			return false
 		}
 		if a.CASWord(sr.par, sr.leafDir, sr.leafEdge, sr.leafEdge|flagBit) {
-			target = sr.leaf
 			break
 		}
 		// Someone is deleting here (maybe the same leaf); help and retry.
@@ -263,19 +261,18 @@ func (t *Tree) Delete(tid int, key uint64) bool {
 			t.cleanup(tid, sr.anc, sr.par)
 		}
 	}
-	// Cleanup phase: done when our flagged leaf is off the search path.
-	// (Handle equality can in principle confuse a recycled slot reinserted
-	// under the same key for our leaf; the only cost is a harmless extra
-	// helping round.)
-	for {
-		if t.cleanup(tid, sr.anc, sr.par) {
-			return true
-		}
+	// Cleanup phase. The flag CAS made the unlink every traversal's
+	// obligation: seek never crosses a frozen edge, so if our own cleanup
+	// loses, one completed re-seek — which helps every pending deletion on
+	// the way, ours included — proves the flagged victim is off the tree.
+	// Comparing the returned leaf against the victim's handle would be
+	// wrong, not just redundant: the handle can be recycled into a fresh
+	// leaf of the same key, and handle equality would then spin forever on
+	// a quiescent tree.
+	if !t.cleanup(tid, sr.anc, sr.par) {
 		t.seek(tid, key, &sr)
-		if sr.leaf != target || a.Key(sr.leaf) != key {
-			return true // a helper finished the unlink (and retired)
-		}
 	}
+	return true
 }
 
 // Get returns the value stored under key.

@@ -76,9 +76,16 @@ type Queue struct {
 // New creates an empty queue for up to maxThreads registered threads; the
 // initial sentinel is allocated on behalf of thread 0.
 func New(smr reclaim.Scheme, maxThreads int) *Queue {
+	return NewTid(smr, maxThreads, 0)
+}
+
+// NewTid is New with the sentinel allocated on behalf of tid — the export
+// hook for the public façade, whose constructor runs under a leased guard
+// holding an arbitrary tid while other tids may be allocating concurrently.
+func NewTid(smr reclaim.Scheme, maxThreads, tid int) *Queue {
 	q := &Queue{smr: smr, maxThreads: maxThreads, state: make([]stateSlot, maxThreads)}
 	a := smr.Arena()
-	s := smr.Alloc(0)
+	s := smr.Alloc(tid)
 	a.StoreWord(s, nextWord, 0)
 	a.StoreWord(s, deqTidWord, 0)
 	a.StoreWord(s, enqTidWord, 0)

@@ -1,0 +1,82 @@
+package wfe
+
+import "wfe/internal/ds/crturn"
+
+// TurnQueue is the CRTurn wait-free MPMC FIFO queue of T (Ramalhete &
+// Correia), the second wait-free structure of the paper's evaluation
+// (Figures 5c/5d). Enqueuers announce nodes that helpers link in "turn"
+// order; dequeuers announce requests that helpers satisfy by handing over
+// the head's successor — so every operation completes within one full turn
+// regardless of scheduling. It needs 2 protection slots per guard.
+//
+// Like WFQueue, the generic payload travels in a private value box rather
+// than the queue node: the hand-off protocol moves a fixed-width word
+// between threads, and the box's handle is that word. The receiving
+// dequeuer — the only goroutine that ever gets the handle — unboxes the T
+// and returns the block to the arena.
+//
+// The plain methods (Enqueue, Dequeue, Len) are guardless: each leases a
+// guard from the Domain's guard runtime for the duration of the operation,
+// so any number of goroutines may call them. The Guarded variants take an
+// explicit or pinned Guard and skip the lease — use them in hot loops.
+type TurnQueue[T any] struct {
+	d *Domain[T]
+	q *crturn.Queue
+}
+
+// NewTurnQueue creates an empty CRTurn queue on the Domain. It leases a
+// guard to allocate the sentinel node, parking briefly if all guards are
+// busy. The turn protocol's claim word holds at most 254 thread ids, so
+// the Domain must be configured with MaxGuards < 255 — set it explicitly
+// rather than inheriting the GOMAXPROCS default, which exceeds the limit
+// on very large machines; larger configurations panic here, at
+// construction.
+func NewTurnQueue[T any](d *Domain[T]) *TurnQueue[T] {
+	g := d.Pin()
+	defer d.Unpin(g)
+	return &TurnQueue[T]{d: d, q: crturn.NewTid(d.smr, d.guards.Cap(), g.tid)}
+}
+
+// Enqueue appends v.
+func (q *TurnQueue[T]) Enqueue(v T) {
+	g := q.d.Pin()
+	defer q.d.unpin(g)
+	q.EnqueueGuarded(g, v)
+}
+
+// Dequeue removes and returns the oldest value; ok is false when empty.
+func (q *TurnQueue[T]) Dequeue() (v T, ok bool) {
+	g := q.d.Pin()
+	defer q.d.unpin(g)
+	return q.DequeueGuarded(g)
+}
+
+// Len counts queued values; meaningful only quiescently.
+func (q *TurnQueue[T]) Len() int {
+	g := q.d.Pin()
+	defer q.d.unpin(g)
+	return q.LenGuarded(g)
+}
+
+// EnqueueGuarded is Enqueue on a caller-held guard.
+func (q *TurnQueue[T]) EnqueueGuarded(g *Guard[T], v T) {
+	box := g.Alloc(v)
+	q.q.Enqueue(g.tid, box.handle())
+}
+
+// DequeueGuarded is Dequeue on a caller-held guard.
+func (q *TurnQueue[T]) DequeueGuarded(g *Guard[T]) (v T, ok bool) {
+	h, ok := q.q.Dequeue(g.tid)
+	if !ok {
+		return v, false
+	}
+	// h is the value box's handle, handed to exactly one request; unbox
+	// and free it directly (see WFQueue.DequeueGuarded).
+	box := Ref[T]{h}
+	v = g.Value(box)
+	g.Dealloc(box)
+	return v, true
+}
+
+// LenGuarded is Len on a caller-held guard.
+func (q *TurnQueue[T]) LenGuarded(g *Guard[T]) int { return q.q.Len() }

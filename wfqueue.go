@@ -1,0 +1,82 @@
+package wfe
+
+import "wfe/internal/ds/kpqueue"
+
+// WFQueue is the Kogan–Petrank wait-free MPMC FIFO queue of T (PPoPP 2011)
+// on the typed Domain façade — the paper's headline workload: combined with
+// the WFE scheme every operation, reclamation included, completes in a
+// bounded number of steps (Figures 5a/5b). It needs 3 protection slots per
+// guard.
+//
+// The queue's phase-based helping protocol hands dequeued values across
+// threads through a fixed-width handoff word, so the generic payload cannot
+// travel inside the queue node itself. Each Enqueue instead boxes its value
+// in a private block (holding the T in the Domain's value slab) and
+// enqueues the box's handle; the winning dequeuer — the only goroutine that
+// ever receives that handle — unboxes the value and returns the block to
+// the arena. Boxes are never shared, so they need no reclamation-scheme
+// round trip.
+//
+// The plain methods (Enqueue, Dequeue, Len) are guardless: each leases a
+// guard from the Domain's guard runtime for the duration of the operation,
+// so any number of goroutines may call them. The Guarded variants take an
+// explicit or pinned Guard and skip the lease — use them in hot loops.
+type WFQueue[T any] struct {
+	d *Domain[T]
+	q *kpqueue.Queue
+}
+
+// NewWFQueue creates an empty wait-free queue on the Domain. It leases a
+// guard to allocate the sentinel node, parking briefly if all guards are
+// busy. The queue registers the Domain's MaxGuards tids with the helping
+// protocol, so guards from any acquisition path can drive it.
+func NewWFQueue[T any](d *Domain[T]) *WFQueue[T] {
+	g := d.Pin()
+	defer d.Unpin(g)
+	return &WFQueue[T]{d: d, q: kpqueue.NewTid(d.smr, d.guards.Cap(), g.tid)}
+}
+
+// Enqueue appends v.
+func (q *WFQueue[T]) Enqueue(v T) {
+	g := q.d.Pin()
+	defer q.d.unpin(g)
+	q.EnqueueGuarded(g, v)
+}
+
+// Dequeue removes and returns the oldest value; ok is false when empty.
+func (q *WFQueue[T]) Dequeue() (v T, ok bool) {
+	g := q.d.Pin()
+	defer q.d.unpin(g)
+	return q.DequeueGuarded(g)
+}
+
+// Len counts queued values; meaningful only quiescently.
+func (q *WFQueue[T]) Len() int {
+	g := q.d.Pin()
+	defer q.d.unpin(g)
+	return q.LenGuarded(g)
+}
+
+// EnqueueGuarded is Enqueue on a caller-held guard.
+func (q *WFQueue[T]) EnqueueGuarded(g *Guard[T], v T) {
+	box := g.Alloc(v)
+	q.q.Enqueue(g.tid, box.handle())
+}
+
+// DequeueGuarded is Dequeue on a caller-held guard.
+func (q *WFQueue[T]) DequeueGuarded(g *Guard[T]) (v T, ok bool) {
+	h, ok := q.q.Dequeue(g.tid)
+	if !ok {
+		return v, false
+	}
+	// h is the value box's handle, delivered to exactly one dequeuer. The
+	// box was never published as a traversable node, so no other goroutine
+	// can hold it: unbox and free it directly, without a retire round trip.
+	box := Ref[T]{h}
+	v = g.Value(box)
+	g.Dealloc(box)
+	return v, true
+}
+
+// LenGuarded is Len on a caller-held guard.
+func (q *WFQueue[T]) LenGuarded(g *Guard[T]) int { return q.q.Len() }
