@@ -24,9 +24,19 @@
 // generic Domain API across every scheme):
 //
 //	wfebench -ablation workloads
+//
+// Sorted-snapshot vs linear cleanup (the PR 4 fast-path overhaul):
+//
+//	wfebench -ablation scan
+//
+// Machine-readable trajectory artifact (all figures + the scan ablation;
+// -short shrinks every parameter to CI scale):
+//
+//	wfebench -json -short -out BENCH_4.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -41,7 +51,7 @@ import (
 func main() {
 	var (
 		figure   = flag.String("figure", "", "figure id (5a,5c,6,7,8,9,10,11 or 'all')")
-		ablation = flag.String("ablation", "", "ablation (attempts, slowpath, erafreq, stall, wfeibr, guards, workloads)")
+		ablation = flag.String("ablation", "", "ablation (attempts, slowpath, erafreq, stall, wfeibr, guards, workloads, scan)")
 		threads  = flag.String("threads", "", "comma-separated thread counts (default: powers of two up to GOMAXPROCS)")
 		duration = flag.Duration("duration", 500*time.Millisecond, "measurement duration per point")
 		repeat   = flag.Int("repeat", 1, "repetitions per point (best reported)")
@@ -51,6 +61,9 @@ func main() {
 		cleanupf = flag.Int("cleanupfreq", 30, "retire-list scan frequency")
 		attempts = flag.Int("attempts", 16, "WFE fast-path attempts")
 		paper    = flag.Bool("paper", false, "paper parameters: 10s duration, 5 repetitions")
+		short    = flag.Bool("short", false, "CI parameters: ~100ms points, small prefill, two thread counts")
+		jsonMode = flag.Bool("json", false, "write the machine-readable trajectory artifact (all figures + scan ablation)")
+		out      = flag.String("out", "BENCH_4.json", "output path for -json")
 		csv      = flag.Bool("csv", false, "CSV output instead of tables")
 		pin      = flag.Bool("pin", false, "pin workers to OS threads (paper methodology)")
 	)
@@ -79,8 +92,35 @@ func main() {
 			opt.Threads = append(opt.Threads, n)
 		}
 	}
+	if *short {
+		// Shrink the sweep-scale parameters to CI scale, except where the
+		// user passed the flag explicitly.
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["duration"] {
+			opt.Duration = 0
+		}
+		if !set["prefill"] {
+			opt.Prefill = 0
+		}
+		if !set["keyrange"] {
+			opt.KeyRange = 0
+		}
+		if !set["repeat"] {
+			opt.Repeat = 0
+		}
+		opt = bench.ShortOptions(opt)
+	}
+
+	if *ablation == "scan" && *threads == "" {
+		// Let the scan ablation pick its ≥16-thread end-to-end point even
+		// under -short, matching what the -json artifact records.
+		opt.Threads = nil
+	}
 
 	switch {
+	case *jsonMode:
+		writeJSONReport(opt, *out)
 	case *ablation != "":
 		runAblation(*ablation, opt, *csv)
 	case *figure != "":
@@ -88,6 +128,25 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// writeJSONReport measures the full trajectory artifact and writes it to
+// path, printing a one-line summary per section so CI logs show progress.
+func writeJSONReport(opt bench.Options, path string) {
+	rep := bench.BuildReport(opt)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatalf("encoding report: %v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatalf("writing %s: %v", path, err)
+	}
+	fmt.Printf("wrote %s: %d figure points, %d scan-ablation points (%s, %d CPUs)\n",
+		path, len(rep.Figures), len(rep.ScanAblation), rep.GoVersion, rep.NumCPU)
+	for _, line := range bench.ScanSummary(rep.ScanAblation) {
+		fmt.Println("  " + line)
 	}
 }
 
@@ -189,6 +248,10 @@ func runAblation(name string, opt bench.Options, csv bool) {
 		runWorkloads(opt, csv)
 		return
 	}
+	if name == "scan" {
+		runScan(opt, csv)
+		return
+	}
 	var results []bench.AblationResult
 	switch name {
 	case "attempts":
@@ -202,7 +265,7 @@ func runAblation(name string, opt bench.Options, csv bool) {
 	case "wfeibr":
 		results = bench.AblationWaitFreeIBR(opt)
 	default:
-		fatalf("unknown ablation %q (want attempts, slowpath, erafreq, stall, wfeibr, guards, workloads)", name)
+		fatalf("unknown ablation %q (want attempts, slowpath, erafreq, stall, wfeibr, guards, workloads, scan)", name)
 	}
 	if csv {
 		fmt.Println("ablation,param,scheme,ds,threads,mops,slow_per_mop,unreclaimed")
@@ -220,6 +283,43 @@ func runAblation(name string, opt bench.Options, csv bool) {
 		fmt.Printf("%-18s%-10s%-10s%8d%12.3f%16.2f%14.1f\n",
 			r.Param, r.Scheme, r.DS, r.Threads, r.Mops, r.SlowPerMop, r.Unreclaimed)
 	}
+}
+
+// runScan renders the sorted-vs-linear cleanup ablation: one row per
+// figure × scheme × mode with the cleanup cost per retired block, then
+// the paired comparison summary.
+func runScan(opt bench.Options, csv bool) {
+	results := bench.AblationScan(opt)
+	if csv {
+		fmt.Println("figure,ds,workload,scheme,mode,adaptive_linear,threads,mops,scan_scans,scan_blocks,scan_ns_per_block,unreclaimed")
+		for _, r := range results {
+			fmt.Printf("%s,%s,%s,%s,%s,%v,%d,%.4f,%d,%d,%.2f,%.1f\n",
+				r.Figure, r.DS, r.Workload, r.Scheme, r.Mode, r.AdaptiveLinear, r.Threads,
+				r.Mops, r.Scans, r.ScanBlocks, r.NsPerBlock, r.Unreclaimed)
+		}
+		return
+	}
+	fmt.Printf("\n=== Ablation: scan (sorted-snapshot cleanup vs linear reference) ===\n")
+	fmt.Printf("%-8s%-10s%-10s%-10s%8s%12s%10s%12s%14s%14s\n",
+		"figure", "workload", "scheme", "mode", "threads", "Mops/s", "scans", "blocks", "ns/block", "unreclaimed")
+	for _, r := range results {
+		mode := r.Mode
+		if r.AdaptiveLinear {
+			mode += "*"
+		}
+		fmt.Printf("%-8s%-10s%-10s%-10s%8d%12.3f%10d%12d%14.1f%14.1f\n",
+			r.Figure, r.Workload, r.Scheme, mode, r.Threads,
+			r.Mops, r.Scans, r.ScanBlocks, r.NsPerBlock, r.Unreclaimed)
+	}
+	fmt.Println()
+	for _, line := range bench.ScanSummary(results) {
+		fmt.Println(line)
+	}
+	fmt.Println("\nns/block is cleanup time per examined retired block: the linear mode")
+	fmt.Println("re-sweeps all G gathered reservations per block (O(R×G)); the sorted")
+	fmt.Println("mode binary-searches a once-sorted snapshot (O((R+G)·log G)).")
+	fmt.Println("sorted* = gathered set below reclaim.SortCutoff, so the sorted arm")
+	fmt.Println("adaptively ran the linear sweep (the pair compares nothing).")
 }
 
 // runGuardOverhead renders the guard-runtime experiment: throughput per

@@ -106,11 +106,24 @@ type Options struct {
 	// covers them all.
 	MaxSlots int
 	// EraFreq is ν, the allocations per guard between era-clock increments
-	// (default 150, the paper's §5 value).
+	// (default 150, the paper's §5 value). Lower values reclaim faster at
+	// the cost of more era-clock traffic on every protected read.
 	EraFreq int
 	// CleanupFreq is the retirements between retire-list scans (default 30,
-	// the paper's §5 value).
+	// the paper's §5 value). Each scan gathers the reservation snapshot
+	// once, sorts it, and binary-searches it per retired block, so raising
+	// CleanupFreq amortises the gather+sort over more retirements (larger
+	// retired backlog, fewer snapshots) and lowering it bounds the backlog
+	// tighter. Tune it here instead of forking the internal scheme config.
 	CleanupFreq int
+	// SpillSize is the number of blocks the arena moves between a guard's
+	// free cache and the global free list in one batched segment transfer
+	// (default 2048). A cache spills once it exceeds 2×SpillSize, so the
+	// contended global list head is touched once per SpillSize frees on
+	// producer/consumer workloads; Telemetry's ArenaSegPushes/ArenaSegPops
+	// show the traffic. Smaller values return memory to other guards
+	// sooner, larger values cut contention further.
+	SpillSize int
 	// MaxAttempts bounds WFE's fast path before it requests helping
 	// (default 16).
 	MaxAttempts int
@@ -194,7 +207,26 @@ func NewDomain[T any](opts Options) (*Domain[T], error) {
 	if opts.MaxGuards < 0 {
 		return nil, fmt.Errorf("wfe: MaxGuards %d must be positive", opts.MaxGuards)
 	}
-	arena := mem.New(mem.Config{Capacity: opts.Capacity, MaxThreads: opts.MaxGuards, Debug: opts.Debug})
+	for _, tune := range []struct {
+		name string
+		v    int
+	}{
+		{"MaxSlots", opts.MaxSlots},
+		{"EraFreq", opts.EraFreq},
+		{"CleanupFreq", opts.CleanupFreq},
+		{"MaxAttempts", opts.MaxAttempts},
+		{"SpillSize", opts.SpillSize},
+	} {
+		if tune.v < 0 {
+			return nil, fmt.Errorf("wfe: %s %d must be non-negative (0 selects the default)", tune.name, tune.v)
+		}
+	}
+	arena := mem.New(mem.Config{
+		Capacity:   opts.Capacity,
+		MaxThreads: opts.MaxGuards,
+		SpillSize:  opts.SpillSize,
+		Debug:      opts.Debug,
+	})
 	cfg := reclaim.Config{
 		MaxThreads:    opts.MaxGuards,
 		MaxHEs:        opts.MaxSlots,
@@ -424,11 +456,21 @@ type Telemetry struct {
 	Era         uint64 // global era/epoch clock (0 for clock-less schemes)
 	SlowPaths   uint64 // protected reads that requested helping (WFE/WFEIBR)
 	MaxSteps    uint64 // worst protect-loop iteration count seen by any guard
+	P99Steps    uint64 // p99 protect-loop iteration count (schemes with step tracking; sample quiescently)
 	Unreclaimed int    // retired blocks not yet recycled
 	Allocs      uint64 // total block allocations
 	Frees       uint64 // total blocks recycled
 	InUse       uint64 // Allocs - Frees
 	Capacity    int    // arena size in blocks
+
+	// Arena fast-path counters. SegPushes/SegPops count whole-segment
+	// transfers on the global free list (each moving Options.SpillSize
+	// blocks in one CAS); BumpHighwater is how many distinct blocks the
+	// bump allocator has ever handed out — the workload's true footprint,
+	// where InUse only shows the instantaneous one.
+	ArenaSegPushes     uint64
+	ArenaSegPops       uint64
+	ArenaBumpHighwater uint64
 
 	// Guard-runtime counters. A healthy guardless workload shows
 	// GuardCacheHits ≫ GuardCacheMisses and GuardParks near zero; parks
@@ -454,6 +496,10 @@ func (d *Domain[T]) Telemetry() Telemetry {
 		InUse:       st.InUse,
 		Capacity:    d.arena.Capacity(),
 
+		ArenaSegPushes:     st.SegPushes,
+		ArenaSegPops:       st.SegPops,
+		ArenaBumpHighwater: st.Bumped,
+
 		MaxGuards:        d.guards.Cap(),
 		GuardsFree:       d.guards.Free(),
 		GuardAcquires:    gp.Acquires,
@@ -470,7 +516,39 @@ func (d *Domain[T]) Telemetry() Telemetry {
 	if m, ok := d.smr.(interface{ MaxSteps() uint64 }); ok {
 		t.MaxSteps = m.MaxSteps()
 	}
+	if s, ok := d.smr.(interface{ StepQuantile(float64) uint64 }); ok {
+		t.P99Steps = s.StepQuantile(0.99)
+	}
 	return t
+}
+
+// ArenaCensus is a quiescent-only accounting snapshot of the Domain's
+// block arena: every block is in exactly one of the four places, so
+// Cached+Global+Live+BumpFree always equals Capacity on a quiescent
+// Domain. quiesce.Check and the arena invariant tests assert this; a
+// violation means the segmented free list lost or duplicated a block.
+type ArenaCensus struct {
+	Cached   int // blocks in per-guard free caches
+	Global   int // blocks in global spill segments
+	Segments int // segments on the global list
+	Live     int // allocated blocks (live or retired)
+	BumpFree int // blocks the bump allocator has never handed out
+	Capacity int
+}
+
+// ArenaCensus walks the arena's free lists and block states. Call it only
+// with no operations in flight (after a drain, before teardown): the
+// walks take no locks.
+func (d *Domain[T]) ArenaCensus() ArenaCensus {
+	c := d.arena.Census()
+	return ArenaCensus{
+		Cached:   c.Cached,
+		Global:   c.Global,
+		Segments: c.Segments,
+		Live:     c.Live,
+		BumpFree: c.BumpFree,
+		Capacity: c.Capacity,
+	}
 }
 
 // A Ref[T] is a typed reference to a block of its Domain, possibly carrying

@@ -122,6 +122,71 @@ func TestNewDomainValidation(t *testing.T) {
 	if _, err := wfe.NewDomain[int](wfe.Options{Capacity: 1 << 30}); err == nil {
 		t.Fatal("capacity beyond handle width accepted")
 	}
+	for name, o := range map[string]wfe.Options{
+		"MaxSlots":    {MaxSlots: -1},
+		"EraFreq":     {EraFreq: -1},
+		"CleanupFreq": {CleanupFreq: -8},
+		"MaxAttempts": {MaxAttempts: -1},
+		"SpillSize":   {SpillSize: -2048},
+	} {
+		if _, err := wfe.NewDomain[int](o); err == nil {
+			t.Errorf("negative %s accepted", name)
+		}
+	}
+	// The explicit paper defaults must still be accepted unchanged.
+	if _, err := wfe.NewDomain[int](wfe.Options{
+		Capacity: 1 << 10, EraFreq: 150, CleanupFreq: 30, MaxAttempts: 16, SpillSize: 64,
+	}); err != nil {
+		t.Fatalf("explicit defaults rejected: %v", err)
+	}
+}
+
+// TestSpillTelemetryAndCensus drives a producer/consumer imbalance (one
+// guard allocates what another frees) through a tiny SpillSize so blocks
+// must round-trip the global segment list, then asserts the batched
+// transfers surface in Telemetry and the quiescent census accounts for
+// every block.
+func TestSpillTelemetryAndCensus(t *testing.T) {
+	d, err := wfe.NewDomain[uint64](wfe.Options{
+		Capacity:    1 << 12,
+		MaxGuards:   2,
+		EraFreq:     4,
+		CleanupFreq: 4,
+		SpillSize:   16,
+		Debug:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := wfe.NewStack[uint64](d)
+	producer := d.Guard()
+	consumer := d.Guard()
+	for round := 0; round < 24; round++ {
+		for i := uint64(0); i < 256; i++ {
+			s.PushGuarded(producer, i)
+		}
+		for {
+			if _, ok := s.PopGuarded(consumer); !ok {
+				break
+			}
+		}
+	}
+	producer.Release()
+	consumer.Release()
+
+	tel := d.Telemetry()
+	if tel.ArenaSegPushes == 0 || tel.ArenaSegPops == 0 {
+		t.Fatalf("no segment traffic despite cross-guard churn: pushes=%d pops=%d",
+			tel.ArenaSegPushes, tel.ArenaSegPops)
+	}
+	if tel.ArenaBumpHighwater == 0 || tel.ArenaBumpHighwater > uint64(tel.Capacity) {
+		t.Fatalf("bump highwater %d out of range (capacity %d)", tel.ArenaBumpHighwater, tel.Capacity)
+	}
+	c := d.ArenaCensus()
+	if got := c.Cached + c.Global + c.Live + c.BumpFree; got != c.Capacity {
+		t.Fatalf("census leak: %d cached + %d global + %d live + %d bump-free = %d != capacity %d",
+			c.Cached, c.Global, c.Live, c.BumpFree, got, c.Capacity)
+	}
 }
 
 // TestTelemetry checks the WFE-specific counters surface through the

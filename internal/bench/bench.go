@@ -99,6 +99,9 @@ type Options struct {
 	// Pin wires each worker to an OS thread (runtime.LockOSThread),
 	// approximating the paper's pinned-thread methodology.
 	Pin bool
+	// LinearScan pins every scheme's cleanup to the pre-overhaul O(R×G)
+	// linear reservation sweep — the reference arm of the scan ablation.
+	LinearScan bool
 }
 
 // Defaults fills unset fields.
@@ -132,18 +135,34 @@ func (o Options) Defaults() Options {
 	return o
 }
 
-// Result is one measured point (one scheme at one thread count).
+// Result is one measured point (one scheme at one thread count). The
+// json tags name the fields in the BENCH_*.json trajectory artifact.
 type Result struct {
-	Figure      string
-	DS          string
-	Workload    string
-	Scheme      string
-	Threads     int
-	Mops        float64
-	Ops         uint64  // total operations completed
-	Unreclaimed float64 // mean sampled retired-not-freed blocks
-	SlowPaths   uint64  // WFE only: slow-path entries during measurement
-	Exhausted   bool    // arena filled up mid-run (Leak with long durations)
+	Figure         string  `json:"figure"`
+	DS             string  `json:"ds"`
+	Workload       string  `json:"workload"`
+	Scheme         string  `json:"scheme"`
+	Threads        int     `json:"threads"`
+	Mops           float64 `json:"mops"`
+	Ops            uint64  `json:"ops"`              // total operations completed
+	Unreclaimed    float64 `json:"unreclaimed_mean"` // mean sampled retired-not-freed blocks
+	UnreclaimedMax int     `json:"unreclaimed_max"`  // highwater of the same samples
+	SlowPaths      uint64  `json:"slow_paths"`       // WFE only: slow-path entries during measurement
+	MaxSteps       uint64  `json:"max_steps"`        // worst GetProtected step count (step-tracking schemes)
+	P99Steps       uint64  `json:"p99_steps"`        // p99 GetProtected step count (step-tracking schemes)
+	ScanScans      uint64  `json:"scan_scans"`       // cleanup scans run (schemes with scan telemetry)
+	ScanBlocks     uint64  `json:"scan_blocks"`      // retired blocks those scans examined
+	ScanNanos      uint64  `json:"scan_nanos"`       // total nanoseconds spent in cleanup scans
+	Exhausted      bool    `json:"exhausted"`        // arena filled up mid-run (Leak with long durations)
+}
+
+// ScanNsPerBlock is the mean cleanup cost per examined retired block, the
+// scan ablation's primary metric.
+func (r Result) ScanNsPerBlock() float64 {
+	if r.ScanBlocks == 0 {
+		return 0
+	}
+	return float64(r.ScanNanos) / float64(r.ScanBlocks)
 }
 
 // buildKV instantiates a data structure over a scheme sized for threads.
@@ -234,6 +253,7 @@ func runOne(exp Experiment, schemeName string, threads int, opt Options) Result 
 		EraFreq:     opt.EraFreq,
 		CleanupFreq: opt.CleanupFreq,
 		MaxAttempts: opt.MaxAttempts,
+		LinearScan:  opt.LinearScan,
 	})
 	if err != nil {
 		panic(err)
@@ -258,6 +278,11 @@ func runOne(exp Experiment, schemeName string, threads int, opt Options) Result 
 		opsByTid  = make([]uint64, threads)
 	)
 	baseSlow := slowPaths(smr)
+	// Prefill runs cleanup scans against a nearly empty reservation set;
+	// baseline them away so the scan telemetry describes the measured
+	// window only (the step quantiles stay whole-run: a max cannot be
+	// baselined and prefill's uncontended reads all take one step).
+	baseScans, baseScanBlocks, baseScanNanos := cleanupStats(smr)
 
 	// Unreclaimed sampler (the paper's second panel).
 	var samples []int
@@ -342,28 +367,47 @@ func runOne(exp Experiment, schemeName string, threads int, opt Options) Result 
 		totalOps += n
 	}
 	var unreclaimed float64
+	unreclaimedMax := 0
 	if len(samples) > 0 {
 		sum := 0
 		for _, s := range samples {
 			sum += s
+			if s > unreclaimedMax {
+				unreclaimedMax = s
+			}
 		}
 		unreclaimed = float64(sum) / float64(len(samples))
 	} else {
 		unreclaimed = float64(smr.Unreclaimed())
+		unreclaimedMax = smr.Unreclaimed()
 	}
 
-	return Result{
-		Figure:      exp.ID,
-		DS:          exp.DS,
-		Workload:    exp.Workload.Name,
-		Scheme:      schemeName,
-		Threads:     threads,
-		Mops:        float64(totalOps) / elapsed.Seconds() / 1e6,
-		Ops:         totalOps,
-		Unreclaimed: unreclaimed,
-		SlowPaths:   slowPaths(smr) - baseSlow,
-		Exhausted:   exhausted.Load(),
+	r := Result{
+		Figure:         exp.ID,
+		DS:             exp.DS,
+		Workload:       exp.Workload.Name,
+		Scheme:         schemeName,
+		Threads:        threads,
+		Mops:           float64(totalOps) / elapsed.Seconds() / 1e6,
+		Ops:            totalOps,
+		Unreclaimed:    unreclaimed,
+		UnreclaimedMax: unreclaimedMax,
+		SlowPaths:      slowPaths(smr) - baseSlow,
+		Exhausted:      exhausted.Load(),
 	}
+	// The workers are joined: the owner-written step histograms and scan
+	// counters are safe to sample now.
+	if m, ok := smr.(interface{ MaxSteps() uint64 }); ok {
+		r.MaxSteps = m.MaxSteps()
+	}
+	if s, ok := smr.(interface{ StepQuantile(float64) uint64 }); ok {
+		r.P99Steps = s.StepQuantile(0.99)
+	}
+	r.ScanScans, r.ScanBlocks, r.ScanNanos = cleanupStats(smr)
+	r.ScanScans -= baseScans
+	r.ScanBlocks -= baseScanBlocks
+	r.ScanNanos -= baseScanNanos
+	return r
 }
 
 func slowPaths(smr reclaim.Scheme) uint64 {

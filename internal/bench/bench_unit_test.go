@@ -1,7 +1,9 @@
 package bench
 
 import (
+	"encoding/json"
 	"math/rand"
+	"strings"
 	"testing"
 	"time"
 )
@@ -206,6 +208,91 @@ func TestAblationsSmoke(t *testing.T) {
 				t.Errorf("ablation %s: negative throughput: %+v", name, r)
 			}
 		}
+	}
+}
+
+func TestMicroScanMeasuresRealCleanups(t *testing.T) {
+	for _, linear := range []bool{true, false} {
+		r := microScan("WFE", 16, 2000, linear)
+		if r.Scans == 0 || r.ScanBlocks == 0 || r.NsPerBlock <= 0 {
+			t.Fatalf("microScan(linear=%v) measured nothing: %+v", linear, r)
+		}
+		wantMode := "sorted"
+		if linear {
+			wantMode = "linear"
+		}
+		if r.Mode != wantMode || r.Figure != "micro" || r.Threads != 16 {
+			t.Fatalf("mislabelled micro row: %+v", r)
+		}
+	}
+}
+
+func TestScanSummaryPairsModes(t *testing.T) {
+	rows := []ScanResult{
+		{Figure: "micro", Scheme: "WFE", Threads: 16, Mode: "linear", NsPerBlock: 100, Mops: 1},
+		{Figure: "micro", Scheme: "WFE", Threads: 16, Mode: "sorted", NsPerBlock: 25, Mops: 2},
+	}
+	lines := ScanSummary(rows)
+	if len(lines) != 1 {
+		t.Fatalf("got %d summary lines, want 1", len(lines))
+	}
+	if !strings.Contains(lines[0], "4.0x") || !strings.Contains(lines[0], "+100.0%") {
+		t.Fatalf("summary line missing speedup/delta: %q", lines[0])
+	}
+}
+
+func TestReportMarshalsWithSchema(t *testing.T) {
+	rep := Report{
+		Schema:  ReportSchema,
+		Figures: []Result{{Figure: "7", Scheme: "WFE", Threads: 2, Mops: 1.5, P99Steps: 1}},
+		ScanAblation: []ScanResult{
+			{Figure: "micro", Scheme: "WFE", Mode: "sorted", NsPerBlock: 25},
+		},
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"schema":"wfe-bench/v1"`, `"p99_steps":1`, `"scan_ns_per_block":25`, `"unreclaimed_max":0`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("marshalled report missing %s: %s", key, data)
+		}
+	}
+}
+
+func TestShortOptionsScale(t *testing.T) {
+	o := ShortOptions(Options{})
+	if o.Duration > 200*time.Millisecond || o.Prefill > 10000 || len(o.Threads) == 0 {
+		t.Fatalf("ShortOptions not CI-scale: %+v", o)
+	}
+	// Explicit values survive.
+	o = ShortOptions(Options{Duration: time.Second, Prefill: 123, Threads: []int{7}})
+	if o.Duration != time.Second || o.Prefill != 123 || len(o.Threads) != 1 || o.Threads[0] != 7 {
+		t.Fatalf("ShortOptions clobbered explicit values: %+v", o)
+	}
+}
+
+func TestResultScanMetricsPopulated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real measurements")
+	}
+	exp, _ := FindExperiment("7")
+	exp.Schemes = []string{"WFE"}
+	opt := Options{
+		Threads:  []int{2},
+		Duration: 60 * time.Millisecond,
+		Prefill:  500,
+		KeyRange: 1000,
+	}
+	r := Run(exp, opt)[0]
+	if r.ScanScans == 0 || r.ScanBlocks == 0 || r.ScanNanos == 0 {
+		t.Fatalf("cleanup telemetry missing from result: %+v", r)
+	}
+	if r.MaxSteps == 0 || r.P99Steps == 0 || r.P99Steps > r.MaxSteps {
+		t.Fatalf("step quantiles inconsistent: p99=%d max=%d", r.P99Steps, r.MaxSteps)
+	}
+	if r.UnreclaimedMax < int(r.Unreclaimed) {
+		t.Fatalf("highwater %d below mean %f", r.UnreclaimedMax, r.Unreclaimed)
 	}
 }
 

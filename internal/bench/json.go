@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"runtime"
+	"time"
+)
+
+// ReportSchema versions the BENCH_*.json layout so downstream trajectory
+// tooling can reject artifacts it does not understand.
+const ReportSchema = "wfe-bench/v1"
+
+// Report is the machine-readable benchmark artifact (BENCH_<n>.json):
+// every paper figure's sweep plus the scan ablation, with enough host
+// metadata to compare artifacts across commits without pretending the
+// hosts were identical. CI uploads one per main push; diff successive
+// artifacts (benchstat-style, by figure/scheme/threads key) to read the
+// performance trajectory.
+type Report struct {
+	Schema    string `json:"schema"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+
+	// The sweep parameters the figures ran with.
+	DurationMS  int64  `json:"duration_ms"`
+	Repeat      int    `json:"repeat"`
+	Prefill     int    `json:"prefill"`
+	KeyRange    uint64 `json:"key_range"`
+	EraFreq     int    `json:"era_freq"`
+	CleanupFreq int    `json:"cleanup_freq"`
+	Threads     []int  `json:"threads"`
+
+	Figures      []Result     `json:"figures"`
+	ScanAblation []ScanResult `json:"scan_ablation"`
+}
+
+// BuildReport measures the full trajectory artifact: every figure in
+// Experiments across opt.Threads, then the scan ablation. Callers tune
+// opt for their time budget (cmd/wfebench -short shrinks it to CI scale).
+func BuildReport(opt Options) Report {
+	opt = opt.Defaults()
+	rep := Report{
+		Schema:      ReportSchema,
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		DurationMS:  opt.Duration.Milliseconds(),
+		Repeat:      opt.Repeat,
+		Prefill:     opt.Prefill,
+		KeyRange:    opt.KeyRange,
+		EraFreq:     opt.EraFreq,
+		CleanupFreq: opt.CleanupFreq,
+		Threads:     opt.Threads,
+	}
+	for _, exp := range Experiments {
+		rep.Figures = append(rep.Figures, Run(exp, opt)...)
+	}
+	scanOpt := opt
+	scanOpt.Threads = nil // let the ablation pick its ≥16-thread point
+	rep.ScanAblation = AblationScan(scanOpt)
+	return rep
+}
+
+// ShortOptions shrinks a sweep to CI scale: ~100ms points over two
+// thread counts with a small prefill — enough to exercise every path and
+// produce a trajectory artifact in well under a minute of measurement,
+// not enough to quote absolute numbers from.
+func ShortOptions(opt Options) Options {
+	if opt.Duration == 0 {
+		opt.Duration = 100 * time.Millisecond
+	}
+	if opt.Repeat == 0 {
+		opt.Repeat = 1
+	}
+	if opt.Prefill == 0 {
+		opt.Prefill = 5000
+	}
+	if opt.KeyRange == 0 {
+		opt.KeyRange = 20000
+	}
+	if len(opt.Threads) == 0 {
+		opt.Threads = []int{2}
+		if wide := min(runtime.GOMAXPROCS(0), 8); wide > 2 {
+			opt.Threads = append(opt.Threads, wide)
+		}
+	}
+	return opt
+}

@@ -20,7 +20,9 @@
 package core
 
 import (
+	"slices"
 	"sync/atomic"
+	"time"
 
 	"wfe/internal/mem"
 	"wfe/internal/pack"
@@ -54,7 +56,14 @@ type threadState struct {
 	// single GetProtected call by this thread has needed; WFE's whole point
 	// is that this stays bounded under adversarial era movement.
 	maxSteps uint64
-	_        [64]byte
+	// stepHist is the full step-count distribution behind maxSteps;
+	// BENCH_*.json reports its p99.
+	stepHist reclaim.StepHist
+	// Cleanup-scan telemetry (owner-written; read quiescently).
+	scanScans  uint64
+	scanBlocks uint64
+	scanNanos  uint64
+	_          [64]byte
 }
 
 // WFE is the Wait-Free Eras scheme.
@@ -133,6 +142,29 @@ func (w *WFE) MaxSteps() uint64 {
 	return max
 }
 
+// StepQuantile returns the q-quantile of per-call GetProtected step
+// counts across all threads. Call quiescently: the histograms are
+// owner-written without synchronisation.
+func (w *WFE) StepQuantile(q float64) uint64 {
+	var sum reclaim.StepHist
+	for i := range w.threads {
+		sum.Merge(&w.threads[i].stepHist)
+	}
+	return sum.Quantile(q)
+}
+
+// CleanupStats reports how many cleanup scans ran, how many retired
+// blocks they examined, and the nanoseconds they spent. Call quiescently.
+func (w *WFE) CleanupStats() (scans, blocks, nanos uint64) {
+	for i := range w.threads {
+		t := &w.threads[i]
+		scans += t.scanScans
+		blocks += t.scanBlocks
+		nanos += t.scanNanos
+	}
+	return
+}
+
 func (w *WFE) resv(tid, j int) *atomic.Uint64 {
 	return &w.reservations[tid*w.rowStride+j]
 }
@@ -155,9 +187,11 @@ func (w *WFE) GetProtected(tid int, src *atomic.Uint64, index int, parent mem.Ha
 			ret := src.Load()
 			newEra := w.globalEra.Load()
 			if prevEra == newEra {
-				if t := &w.threads[tid]; uint64(a)+1 > t.maxSteps {
+				t := &w.threads[tid]
+				if uint64(a)+1 > t.maxSteps {
 					t.maxSteps = uint64(a) + 1
 				}
+				t.stepHist.Record(uint64(a) + 1)
 				return ret
 			}
 			// Owner-only full-word store. A helper CAS on this word requires
@@ -195,6 +229,7 @@ func (w *WFE) getProtectedSlow(tid int, src *atomic.Uint64, index int, parent me
 		if steps > t.maxSteps {
 			t.maxSteps = steps
 		}
+		t.stepHist.Record(steps)
 	}()
 	for { // bounded by the number of in-flight era increments (Lemma 1)
 		steps++
@@ -346,24 +381,36 @@ func (w *WFE) Clear(tid int) {
 // taken across the whole scan (strictly more conservative than per block),
 // and the tag check in help_thread rules out the one helper window the
 // snapshots could miss, exactly as in the per-block formulation.
+//
+// Each phase's membership test is a union over its reservation classes,
+// so the phase snapshot is sorted once — after the gather, which keeps
+// the lemmas' read order — and binary-searched per block: O((R+G)·log G)
+// instead of O(R×G), unless LinearScan pins the reference oracle.
 func (w *WFE) cleanup(tid int) {
 	t := &w.threads[tid]
 	blocks := t.retired.Blocks
 	if len(blocks) == 0 {
 		return
 	}
+	start := time.Now()
 	h := w.cfg.MaxHEs
 
 	ce := w.counterEnd.Load()
-	normals := w.gather(t.scratch[:0], 0, h)
-	special1 := w.gather(normals, h, h+1) // appended after normals
-	t.scratch = special1
+	snap1 := w.gather(t.scratch[:0], 0, h) // normal reservations first,
+	snap1 = w.gather(snap1, h, h+1)        // then special reservation 1
+	t.scratch = snap1
 	cs := w.counterStart.Load()
+	// Below the cutoff the linear sweep beats sort+search; the two tests
+	// decide identically (property-tested), so this is purely a cost call.
+	linear1 := w.cfg.LinearScan || len(snap1) < reclaim.SortCutoff
+	if !linear1 {
+		slices.Sort(snap1)
+	}
 
 	keep := blocks[:0]
 	survivors := t.survivors[:0]
 	for _, blk := range blocks {
-		if overlaps(w.arena, blk, normals) || overlaps(w.arena, blk, special1[len(normals):]) {
+		if w.reserved(blk, snap1, linear1) {
 			keep = append(keep, blk)
 		} else {
 			survivors = append(survivors, blk)
@@ -375,19 +422,37 @@ func (w *WFE) cleanup(tid int) {
 			w.arena.Free(tid, blk)
 		}
 	} else {
-		special2 := w.gather(special1[len(special1):], h+1, h+2)
-		normals2 := w.gather(special2, 0, h)
+		snap2 := w.gather(snap1[len(snap1):], h+1, h+2) // special reservation 2 first,
+		snap2 = w.gather(snap2, 0, h)                   // then the normals again
+		linear2 := w.cfg.LinearScan || len(snap2) < reclaim.SortCutoff
+		if !linear2 {
+			slices.Sort(snap2)
+		}
 		for _, blk := range survivors {
-			if overlaps(w.arena, blk, special2) || overlaps(w.arena, blk, normals2[len(special2):]) {
+			if w.reserved(blk, snap2, linear2) {
 				keep = append(keep, blk)
 			} else {
 				w.arena.Free(tid, blk)
 			}
 		}
-		t.scratch = normals2[:0]
+		t.scratch = snap2[:0]
 	}
 	t.survivors = survivors[:0]
 	t.retired.SetBlocks(keep)
+	t.scanScans++
+	t.scanBlocks += uint64(len(blocks))
+	t.scanNanos += uint64(time.Since(start))
+}
+
+// reserved reports whether any snapshot era falls within the block's
+// lifespan — by the pre-overhaul linear sweep when linear is set, by
+// binary search on the phase's sorted snapshot otherwise.
+func (w *WFE) reserved(blk mem.Handle, snap []uint64, linear bool) bool {
+	lo, hi := w.arena.AllocEra(blk), w.arena.RetireEra(blk)
+	if linear {
+		return overlapsLinear(snap, lo, hi)
+	}
+	return reclaim.ReservedInRange(snap, lo, hi)
 }
 
 // gather appends the non-∞ eras of reservation indices [js, je) across all
@@ -403,13 +468,12 @@ func (w *WFE) gather(dst []uint64, js, je int) []uint64 {
 	return dst
 }
 
-// overlaps reports whether any gathered era falls within the block's
-// lifespan [alloc_era, retire_era].
-func overlaps(a *mem.Arena, blk mem.Handle, eras []uint64) bool {
-	allocEra := a.AllocEra(blk)
-	retireEra := a.RetireEra(blk)
+// overlapsLinear is the pre-overhaul O(G) membership sweep — any gathered
+// era within [lo, hi] — kept as the reference oracle for the sorted
+// scan's property test and the -ablation scan comparison.
+func overlapsLinear(eras []uint64, lo, hi uint64) bool {
 	for _, era := range eras {
-		if allocEra <= era && retireEra >= era {
+		if lo <= era && hi >= era {
 			return true
 		}
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math/rand"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -15,6 +17,57 @@ func newWFE(t *testing.T, threads int, cfg reclaim.Config) (*WFE, *mem.Arena) {
 	cfg.MaxThreads = threads
 	a := mem.New(mem.Config{Capacity: 1 << 14, MaxThreads: threads, Debug: true})
 	return New(a, cfg), a
+}
+
+func TestSortedScanMatchesLinearOracle(t *testing.T) {
+	// Property: on randomized phase snapshots (normal + special
+	// reservations mixed), the sorted-snapshot membership test reaches
+	// exactly the decision of the pre-overhaul linear sweep.
+	rng := rand.New(rand.NewSource(20260729))
+	for iter := 0; iter < 500; iter++ {
+		snap := make([]uint64, rng.Intn(65))
+		for i := range snap {
+			snap[i] = uint64(rng.Intn(120)) + 1
+		}
+		sorted := slices.Clone(snap)
+		slices.Sort(sorted)
+		for b := 0; b < 32; b++ {
+			lo := uint64(rng.Intn(120)) + 1
+			hi := lo + uint64(rng.Intn(16))
+			want := overlapsLinear(snap, lo, hi)
+			if got := reclaim.ReservedInRange(sorted, lo, hi); got != want {
+				t.Fatalf("lifespan [%d,%d] vs snapshot %v: sorted=%v linear=%v",
+					lo, hi, snap, got, want)
+			}
+		}
+	}
+}
+
+func TestLinearAndSortedCleanupAgreeEndToEnd(t *testing.T) {
+	// The same deterministic single-threaded churn — tid 0 allocating and
+	// retiring against roots that tid 1 protects and clears on a fixed
+	// schedule — must leave identical retire-list backlogs whichever scan
+	// implementation cleanup uses.
+	run := func(linear bool) int {
+		w, _ := newWFE(t, 2, reclaim.Config{EraFreq: 2, CleanupFreq: 3, LinearScan: linear})
+		var roots [4]atomic.Uint64
+		rng := rand.New(rand.NewSource(42))
+		for i := 0; i < 400; i++ {
+			h := w.Alloc(0)
+			roots[i%4].Store(h)
+			if i%7 == 0 {
+				w.GetProtected(1, &roots[rng.Intn(4)], rng.Intn(4), 0)
+			}
+			if i%13 == 0 {
+				w.Clear(1)
+			}
+			w.Retire(0, h)
+		}
+		return w.Unreclaimed()
+	}
+	if lin, sorted := run(true), run(false); lin != sorted {
+		t.Fatalf("backlog diverged: linear scan left %d, sorted scan %d", lin, sorted)
+	}
 }
 
 func TestFastPathStableEra(t *testing.T) {

@@ -11,7 +11,9 @@
 package he
 
 import (
+	"slices"
 	"sync/atomic"
+	"time"
 
 	"wfe/internal/mem"
 	"wfe/internal/pack"
@@ -30,7 +32,14 @@ type threadState struct {
 	// GetProtected call by this thread has needed — the unboundedness the
 	// paper's contribution removes, observable.
 	maxSteps uint64
-	_        [64]byte
+	// stepHist is the full step-count distribution behind maxSteps;
+	// BENCH_*.json reports its p99.
+	stepHist reclaim.StepHist
+	// Cleanup-scan telemetry (owner-written; read quiescently).
+	scanScans  uint64
+	scanBlocks uint64
+	scanNanos  uint64
+	_          [64]byte
 }
 
 // HE is the Hazard Eras scheme.
@@ -97,6 +106,7 @@ func (h *HE) GetProtected(tid int, src *atomic.Uint64, index int, parent mem.Han
 			if steps > t.maxSteps {
 				t.maxSteps = steps
 			}
+			t.stepHist.Record(steps)
 			return ret
 		}
 		r.Store(newEra)
@@ -114,6 +124,30 @@ func (h *HE) MaxSteps() uint64 {
 		}
 	}
 	return max
+}
+
+// StepQuantile returns the q-quantile of per-call GetProtected step
+// counts across all threads. Call quiescently: the histograms are
+// owner-written without synchronisation.
+func (h *HE) StepQuantile(q float64) uint64 {
+	var sum reclaim.StepHist
+	for i := range h.threads {
+		sum.Merge(&h.threads[i].stepHist)
+	}
+	return sum.Quantile(q)
+}
+
+// CleanupStats reports how many cleanup scans ran, how many retired
+// blocks they examined, and the nanoseconds they spent — the scan
+// ablation's cleanup-cost metric. Call quiescently.
+func (h *HE) CleanupStats() (scans, blocks, nanos uint64) {
+	for i := range h.threads {
+		t := &h.threads[i]
+		scans += t.scanScans
+		blocks += t.scanBlocks
+		nanos += t.scanNanos
+	}
+	return
 }
 
 // Alloc implements the paper's alloc_block.
@@ -168,13 +202,16 @@ func (h *HE) Clear(tid int) {
 // blocks than Figure 1's per-block re-scan (a reservation cleared mid-scan
 // is still honoured); a reservation published after the snapshot cannot
 // protect an already-retired block, by the same argument that makes the
-// per-block scan sound.
+// per-block scan sound. The snapshot is sorted once and binary-searched
+// per block — O((R+G)·log G) instead of the per-block linear sweep's
+// O(R×G) — unless LinearScan pins the reference oracle.
 func (h *HE) cleanup(tid int) {
 	t := &h.threads[tid]
 	blocks := t.retired.Blocks
 	if len(blocks) == 0 {
 		return
 	}
+	start := time.Now()
 	eras := t.scratch[:0]
 	for i := 0; i < h.cfg.MaxThreads; i++ {
 		for j := 0; j < h.cfg.MaxHEs; j++ {
@@ -184,27 +221,49 @@ func (h *HE) cleanup(tid int) {
 		}
 	}
 	t.scratch = eras
+	// Below the cutoff the linear sweep beats sort+search; the two tests
+	// decide identically (property-tested), so this is purely a cost call.
+	linear := h.cfg.LinearScan || len(eras) < reclaim.SortCutoff
+	if !linear {
+		slices.Sort(eras)
+	}
 
 	keep := blocks[:0]
 	for _, blk := range blocks {
-		if h.canDelete(blk, eras) {
+		if h.canDelete(blk, eras, linear) {
 			h.arena.Free(tid, blk)
 		} else {
 			keep = append(keep, blk)
 		}
 	}
 	t.retired.SetBlocks(keep)
+	t.scanScans++
+	t.scanBlocks += uint64(len(blocks))
+	t.scanNanos += uint64(time.Since(start))
 }
 
-func (h *HE) canDelete(blk mem.Handle, eras []uint64) bool {
+// canDelete reports whether no gathered era lands in the block's
+// [alloc, retire] lifespan; linear selects the reference sweep (the eras
+// snapshot is sorted otherwise).
+func (h *HE) canDelete(blk mem.Handle, eras []uint64, linear bool) bool {
 	allocEra := h.arena.AllocEra(blk)
 	retireEra := h.arena.RetireEra(blk)
+	if linear {
+		return !eraReservedLinear(eras, allocEra, retireEra)
+	}
+	return !reclaim.ReservedInRange(eras, allocEra, retireEra)
+}
+
+// eraReservedLinear is the pre-overhaul O(G) membership sweep, kept as
+// the reference oracle for the sorted scan's property test and the
+// -ablation scan comparison.
+func eraReservedLinear(eras []uint64, lo, hi uint64) bool {
 	for _, era := range eras {
-		if allocEra <= era && retireEra >= era {
-			return false
+		if lo <= era && hi >= era {
+			return true
 		}
 	}
-	return true
+	return false
 }
 
 // Unreclaimed implements reclaim.Scheme.

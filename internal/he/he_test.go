@@ -1,6 +1,8 @@
 package he
 
 import (
+	"math/rand"
+	"slices"
 	"sync/atomic"
 	"testing"
 
@@ -66,12 +68,38 @@ func TestCanDeleteBoundaries(t *testing.T) {
 		{21, true},  // after lifespan
 	}
 	for _, c := range cases {
-		if got := h.canDelete(blk, []uint64{c.era}); got != c.want {
-			t.Errorf("canDelete with reservation era %d = %v, want %v", c.era, got, c.want)
+		for _, linear := range []bool{true, false} {
+			if got := h.canDelete(blk, []uint64{c.era}, linear); got != c.want {
+				t.Errorf("canDelete(linear=%v) with reservation era %d = %v, want %v", linear, c.era, got, c.want)
+			}
 		}
 	}
-	if !h.canDelete(blk, nil) {
+	if !h.canDelete(blk, nil, false) {
 		t.Error("canDelete with no reservations = false")
+	}
+}
+
+func TestSortedScanMatchesLinearOracle(t *testing.T) {
+	// Property: on randomized reservation/era sets, the sorted-snapshot
+	// membership test reaches exactly the free/keep decision of the
+	// pre-overhaul linear sweep (the retained oracle).
+	rng := rand.New(rand.NewSource(20260729))
+	for iter := 0; iter < 500; iter++ {
+		eras := make([]uint64, rng.Intn(65))
+		for i := range eras {
+			eras[i] = uint64(rng.Intn(120)) + 1
+		}
+		sorted := slices.Clone(eras)
+		slices.Sort(sorted)
+		for b := 0; b < 32; b++ {
+			lo := uint64(rng.Intn(120)) + 1
+			hi := lo + uint64(rng.Intn(16))
+			want := eraReservedLinear(eras, lo, hi)
+			if got := reclaim.ReservedInRange(sorted, lo, hi); got != want {
+				t.Fatalf("lifespan [%d,%d] vs eras %v: sorted=%v linear=%v",
+					lo, hi, eras, got, want)
+			}
+		}
 	}
 }
 

@@ -1,6 +1,8 @@
 package ibr
 
 import (
+	"math/rand"
+	"slices"
 	"sync/atomic"
 	"testing"
 
@@ -33,12 +35,48 @@ func TestIntervalOverlapSemantics(t *testing.T) {
 		{5, 30, false},  // covers the lifespan
 	}
 	for _, c := range cases {
-		if got := ib.canDelete(blk, []uint64{c.lo, c.hi}); got != c.want {
-			t.Errorf("canDelete vs interval [%d,%d] = %v, want %v", c.lo, c.hi, got, c.want)
+		for _, linear := range []bool{true, false} {
+			if got := ib.canDelete(blk, []uint64{c.lo}, []uint64{c.hi}, linear); got != c.want {
+				t.Errorf("canDelete(linear=%v) vs interval [%d,%d] = %v, want %v", linear, c.lo, c.hi, got, c.want)
+			}
 		}
 	}
-	if !ib.canDelete(blk, nil) {
+	if !ib.canDelete(blk, nil, nil, false) {
 		t.Error("canDelete with no intervals = false")
+	}
+}
+
+func TestSortedScanMatchesLinearOracle(t *testing.T) {
+	// Property: on randomized reservation-interval sets, the
+	// sorted-endpoint counting test reaches exactly the free/keep decision
+	// of the pre-overhaul paired linear sweep (the retained oracle) —
+	// including intervals left half-open at Inf by a racing Clear.
+	rng := rand.New(rand.NewSource(20260729))
+	for iter := 0; iter < 500; iter++ {
+		n := rng.Intn(48)
+		los := make([]uint64, n)
+		his := make([]uint64, n)
+		for i := range los {
+			los[i] = uint64(rng.Intn(120)) + 1
+			if rng.Intn(16) == 0 {
+				his[i] = pack.Inf // gather raced a Begin/Clear hand-over
+			} else {
+				his[i] = los[i] + uint64(rng.Intn(20))
+			}
+		}
+		sortedLos := slices.Clone(los)
+		sortedHis := slices.Clone(his)
+		slices.Sort(sortedLos)
+		slices.Sort(sortedHis)
+		for b := 0; b < 32; b++ {
+			birth := uint64(rng.Intn(120)) + 1
+			retire := birth + uint64(rng.Intn(16))
+			want := intervalReservedLinear(los, his, birth, retire)
+			if got := reclaim.IntervalsOverlap(sortedLos, sortedHis, birth, retire); got != want {
+				t.Fatalf("lifespan [%d,%d] vs intervals (%v,%v): sorted=%v linear=%v",
+					birth, retire, los, his, got, want)
+			}
+		}
 	}
 }
 

@@ -55,7 +55,17 @@ type slot struct {
 	words     [NumWords]atomic.Uint64
 	key       uint64        // immutable after publication
 	val       atomic.Uint64 // mutable value payload
-	nextFree  Handle        // free-list link; owner-thread or global-lock-free use only
+	// nextFree is the free-list link. It is written only by the slot's
+	// current owner (the freeing thread building its cache, or the
+	// spilling thread cutting a segment) and read only after ownership is
+	// re-acquired through the global head CAS, so it needs no atomics.
+	nextFree Handle
+	// segMeta is set on a segment's head slot while the segment sits on
+	// the global list: packed {length:40 | next-segment handle:24}. It is
+	// atomic because refill must read it before winning the head CAS, when
+	// a racing pop/recycle/re-push may rewrite it concurrently (the
+	// stamped head CAS then fails and the stale read is discarded).
+	segMeta atomic.Uint64
 }
 
 // threadMem is per-registered-thread allocator state, padded to a cache
@@ -68,10 +78,10 @@ type threadMem struct {
 	_        [64]byte
 }
 
-// spillThreshold is the local free-list length above which frees spill to
-// the global list, keeping allocation balanced across producer/consumer
-// thread roles.
-const spillThreshold = 4096
+// defaultSpillSize is the default batched-transfer segment size: a
+// thread's free cache holds up to twice this many slots before spilling
+// its oldest defaultSpillSize as one segment.
+const defaultSpillSize = 2048
 
 // Config configures an Arena.
 type Config struct {
@@ -79,20 +89,31 @@ type Config struct {
 	Capacity int
 	// MaxThreads is the number of registered threads (tids 0..MaxThreads-1).
 	MaxThreads int
+	// SpillSize is the number of slots moved between a thread's free cache
+	// and the global list in one batched segment transfer (default 2048).
+	// A cache spills its oldest SpillSize slots once it exceeds
+	// 2×SpillSize, and an allocation miss refills a whole segment, so the
+	// contended global head is CASed once per SpillSize frees instead of
+	// once per free on producer/consumer workloads.
+	SpillSize int
 	// Debug enables state checking and poisoning on every access.
 	Debug bool
 }
 
-// Arena is a bounded slab of slots with per-thread free lists, a global
-// spill list, and a bump allocator for never-used slots.
+// Arena is a bounded slab of slots with per-thread free caches, a global
+// list of batched spill segments, and a bump allocator for never-used
+// slots.
 type Arena struct {
-	slots    []slot
-	bump     atomic.Uint64 // next never-allocated slot index
-	global   atomic.Uint64 // packed {stamp:40 | handle:24} Treiber free-list head
-	threads  []threadMem
-	cap      uint64
-	debug    bool
-	freeHook func(h Handle)
+	slots     []slot
+	bump      atomic.Uint64 // next never-allocated slot index
+	global    atomic.Uint64 // packed {stamp:40 | segment-head handle:24} Treiber head
+	threads   []threadMem
+	cap       uint64
+	spillSize int
+	debug     bool
+	freeHook  func(h Handle)
+	segPushes atomic.Uint64
+	segPops   atomic.Uint64
 }
 
 // New creates an arena. It panics on an invalid configuration: the arena is
@@ -104,11 +125,18 @@ func New(cfg Config) *Arena {
 	if cfg.MaxThreads <= 0 {
 		panic("mem: MaxThreads must be positive")
 	}
+	if cfg.SpillSize == 0 {
+		cfg.SpillSize = defaultSpillSize
+	}
+	if cfg.SpillSize < 0 {
+		panic(fmt.Sprintf("mem: SpillSize %d must be non-negative (0 selects the default)", cfg.SpillSize))
+	}
 	return &Arena{
-		slots:   make([]slot, cfg.Capacity),
-		threads: make([]threadMem, cfg.MaxThreads),
-		cap:     uint64(cfg.Capacity),
-		debug:   cfg.Debug,
+		slots:     make([]slot, cfg.Capacity),
+		threads:   make([]threadMem, cfg.MaxThreads),
+		cap:       uint64(cfg.Capacity),
+		spillSize: cfg.SpillSize,
+		debug:     cfg.Debug,
 	}
 }
 
@@ -134,8 +162,10 @@ func (a *Arena) slot(h Handle) *slot {
 // workload (leak-baseline runs in particular must cover every allocation).
 func (a *Arena) Alloc(tid int) Handle {
 	t := &a.threads[tid]
-	h := t.freeHead
-	if h != 0 {
+	if t.freeHead == 0 {
+		a.refill(t)
+	}
+	if h := t.freeHead; h != 0 {
 		s := a.slot(h)
 		t.freeHead = s.nextFree
 		t.freeLen--
@@ -143,16 +173,11 @@ func (a *Arena) Alloc(tid int) Handle {
 		t.allocs.Add(1)
 		return h
 	}
-	if h = a.popGlobal(); h != 0 {
-		a.makeLive(h, a.slot(h))
-		t.allocs.Add(1)
-		return h
-	}
 	idx := a.bump.Add(1) - 1
 	if idx >= a.cap {
 		panic(fmt.Sprintf("mem: arena exhausted (capacity %d); size the arena for the workload", a.cap))
 	}
-	h = idx + 1
+	h := idx + 1
 	a.makeLive(h, a.slot(h))
 	t.allocs.Add(1)
 	return h
@@ -169,8 +194,12 @@ func (a *Arena) makeLive(h Handle, s *slot) {
 }
 
 // Free returns a retired (or live, for structures that never published the
-// node) slot to the free lists. In debug mode the payload is poisoned and
-// double frees panic.
+// node) slot to the free lists. In debug mode double frees panic, and the
+// payload of every published (retired) block is poisoned; a live→free
+// block is Dealloc's never-published constructor block, whose payload no
+// other goroutine ever saw, so it skips the poison stores — the version
+// bump and state word below still arm double-free and use-after-free
+// detection for it.
 func (a *Arena) Free(tid int, h Handle) {
 	s := a.slot(h)
 	if a.debug {
@@ -178,10 +207,12 @@ func (a *Arena) Free(tid int, h Handle) {
 		if st == slotFree {
 			panic(fmt.Sprintf("mem: double free of slot %d", h))
 		}
-		for i := range s.words {
-			s.words[i].Store(poison)
+		if st == slotRetired {
+			for i := range s.words {
+				s.words[i].Store(poison)
+			}
+			s.val.Store(poison)
 		}
-		s.val.Store(poison)
 	}
 	if a.freeHook != nil {
 		a.freeHook(h)
@@ -189,41 +220,64 @@ func (a *Arena) Free(tid int, h Handle) {
 	s.version.Add(1)
 	s.state.Store(slotFree)
 	t := &a.threads[tid]
-	if t.freeLen >= spillThreshold {
-		a.pushGlobal(h, s)
-	} else {
-		s.nextFree = t.freeHead
-		t.freeHead = h
-		t.freeLen++
+	if t.freeLen >= 2*a.spillSize {
+		a.spillSegment(t)
 	}
+	s.nextFree = t.freeHead
+	t.freeHead = h
+	t.freeLen++
 	t.frees.Add(1)
 }
 
-// Global spill list: a Treiber stack whose head packs a 40-bit stamp with a
-// 24-bit handle; the stamp defeats ABA on concurrent pops.
-func (a *Arena) pushGlobal(h Handle, s *slot) {
+// Global spill list: a Treiber stack of whole segments. The head word
+// packs a 40-bit stamp with the 24-bit handle of the top segment's first
+// slot; the stamp defeats ABA on concurrent transfers. Each segment is a
+// nextFree-linked chain cut from a per-thread cache, its head slot
+// carrying the segment length and next-segment link in segMeta, so both
+// directions move SpillSize slots per CAS instead of one.
+
+// spillSegment cuts the oldest spillSize slots off tid's free cache —
+// everything past the spillSize most recently freed — and pushes them to
+// the global list as one segment.
+func (a *Arena) spillSegment(t *threadMem) {
+	cut := a.slot(t.freeHead)
+	for i := 1; i < a.spillSize; i++ {
+		cut = a.slot(cut.nextFree)
+	}
+	head := cut.nextFree
+	n := t.freeLen - a.spillSize
+	cut.nextFree = 0
+	t.freeLen = a.spillSize
 	for {
 		old := a.global.Load()
-		s.nextFree = old & pack.HandleMask
-		next := (old>>pack.HandleBits+1)<<pack.HandleBits | h
+		a.slot(head).segMeta.Store(uint64(n)<<pack.HandleBits | old&pack.HandleMask)
+		next := (old>>pack.HandleBits+1)<<pack.HandleBits | head
 		if a.global.CompareAndSwap(old, next) {
+			a.segPushes.Add(1)
 			return
 		}
 	}
 }
 
-func (a *Arena) popGlobal() Handle {
+// refill claims one whole segment off the global list in a single CAS and
+// installs it as tid's free cache. The segMeta read may race a concurrent
+// pop/recycle/re-push of the observed head slot, but any such cycle
+// advances the head stamp, so the CAS only succeeds when the read was of
+// the current cycle.
+func (a *Arena) refill(t *threadMem) {
 	for {
 		old := a.global.Load()
 		h := old & pack.HandleMask
 		if h == 0 {
-			return 0
+			return
 		}
-		s := a.slot(h)
-		nf := s.nextFree
-		next := (old>>pack.HandleBits+1)<<pack.HandleBits | nf
+		meta := a.slot(h).segMeta.Load()
+		next := (old>>pack.HandleBits+1)<<pack.HandleBits | meta&pack.HandleMask
 		if a.global.CompareAndSwap(old, next) {
-			return h
+			t.freeHead = h
+			t.freeLen = int(meta >> pack.HandleBits)
+			a.segPops.Add(1)
+			return
 		}
 	}
 }
@@ -347,10 +401,12 @@ func (a *Arena) Live(h Handle) bool {
 
 // Stats is a point-in-time allocation census.
 type Stats struct {
-	Allocs uint64 // total allocations
-	Frees  uint64 // total frees
-	InUse  uint64 // Allocs - Frees
-	Bumped uint64 // slots ever touched by the bump allocator
+	Allocs    uint64 // total allocations
+	Frees     uint64 // total frees
+	InUse     uint64 // Allocs - Frees
+	Bumped    uint64 // bump-allocator highwater: slots ever handed out
+	SegPushes uint64 // batched segments spilled to the global free list
+	SegPops   uint64 // segments claimed back by allocation misses
 }
 
 // Stats sums the per-thread counters. The snapshot is approximate under
@@ -367,5 +423,53 @@ func (a *Arena) Stats() Stats {
 		b = a.cap
 	}
 	st.Bumped = b
+	st.SegPushes = a.segPushes.Load()
+	st.SegPops = a.segPops.Load()
 	return st
+}
+
+// Census is a quiescent-only accounting snapshot of where every slot
+// sits. Every slot is in exactly one of the four places, so
+// Cached+Global+Live+BumpFree == Capacity whenever no allocation or free
+// is in flight; the arena invariant tests and quiesce.Check assert this.
+type Census struct {
+	Cached    int // slots walked in per-thread free caches
+	CachedLen int // sum of the caches' length counters (must equal Cached)
+	Global    int // slots walked in global spill segments
+	Segments  int // segments on the global list
+	Live      int // allocated slots (live or retired)
+	BumpFree  int // slots the bump allocator has never handed out
+	Capacity  int
+}
+
+// Census walks the free caches, the global segment list and the slot
+// states. It must only be called on a quiescent arena: the walks take no
+// locks and tolerate no concurrent Alloc/Free.
+func (a *Arena) Census() Census {
+	c := Census{Capacity: int(a.cap)}
+	for i := range a.threads {
+		t := &a.threads[i]
+		c.CachedLen += t.freeLen
+		for h := t.freeHead; h != 0; h = a.slot(h).nextFree {
+			c.Cached++
+		}
+	}
+	for h := a.global.Load() & pack.HandleMask; h != 0; {
+		c.Segments++
+		for s := h; s != 0; s = a.slot(s).nextFree {
+			c.Global++
+		}
+		h = a.slot(h).segMeta.Load() & pack.HandleMask
+	}
+	b := a.bump.Load()
+	if b > a.cap {
+		b = a.cap
+	}
+	c.BumpFree = int(a.cap - b)
+	for i := range a.slots {
+		if a.slots[i].state.Load() != slotFree {
+			c.Live++
+		}
+	}
+	return c
 }

@@ -61,11 +61,36 @@ func TestPoisonOnFree(t *testing.T) {
 	a := newTestArena(4, 1)
 	h := a.Alloc(0)
 	a.StoreWord(h, 2, 12345)
+	a.SetRetireEra(h, 1) // published: the retired→free path poisons
 	a.Free(0, h)
 	// Peek through the raw slot: the accessor would panic.
 	if got := a.slot(h).words[2].Load(); got != poison {
 		t.Fatalf("freed word = %#x, want poison", got)
 	}
+}
+
+func TestFastFreeSkipsPoisonButDetectsDoubleFree(t *testing.T) {
+	// A live→free block is the never-published constructor-undo path
+	// (Guard.Dealloc): its payload was never visible to another goroutine,
+	// so debug mode skips the NumWords poison stores — but the state
+	// machine must still catch a double free of it.
+	a := newTestArena(4, 1)
+	h := a.Alloc(0)
+	a.StoreWord(h, 1, 42)
+	a.SetVal(h, 7)
+	a.Free(0, h)
+	if got := a.slot(h).words[1].Load(); got != 42 {
+		t.Fatalf("never-published free poisoned word: %#x", got)
+	}
+	if got := a.slot(h).val.Load(); got != 7 {
+		t.Fatalf("never-published free poisoned value: %#x", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free after a fast free did not panic")
+		}
+	}()
+	a.Free(0, h)
 }
 
 func TestExhaustionPanics(t *testing.T) {
@@ -169,12 +194,13 @@ func TestConcurrentAllocFree(t *testing.T) {
 	}
 }
 
-func TestGlobalSpill(t *testing.T) {
-	// Force frees beyond the spill threshold on one thread, then allocate
-	// them all back from another thread via the global list.
-	const spilled = 128
-	capacity := spillThreshold + spilled
-	a := New(Config{Capacity: capacity, MaxThreads: 2, Debug: true})
+func TestGlobalSpillBatched(t *testing.T) {
+	// Free past 2×SpillSize on one thread: the cache must splice its
+	// oldest SpillSize slots onto the global list as one segment, which
+	// another thread (empty cache, exhausted bump space) claims whole.
+	const spill = 16
+	capacity := 3 * spill
+	a := New(Config{Capacity: capacity, MaxThreads: 2, Debug: true, SpillSize: spill})
 	hs := make([]Handle, 0, capacity)
 	for i := 0; i < capacity; i++ {
 		hs = append(hs, a.Alloc(0))
@@ -183,19 +209,108 @@ func TestGlobalSpill(t *testing.T) {
 		a.SetRetireEra(h, 1)
 		a.Free(0, h)
 	}
-	// Thread 0's local list holds spillThreshold slots; the rest spilled to
-	// the global list, where thread 1 (empty local list, exhausted bump
-	// space) can claim them.
+	st := a.Stats()
+	if st.SegPushes != 1 || st.SegPops != 0 {
+		t.Fatalf("segment transfers = %d pushes / %d pops, want 1/0", st.SegPushes, st.SegPops)
+	}
 	seen := make(map[Handle]bool)
-	for i := 0; i < spilled; i++ {
+	for i := 0; i < spill; i++ {
 		h := a.Alloc(1)
 		if seen[h] {
 			t.Fatalf("slot %d handed out twice", h)
 		}
 		seen[h] = true
 	}
-	if a.Stats().InUse != spilled {
-		t.Fatalf("in use = %d, want %d", a.Stats().InUse, spilled)
+	st = a.Stats()
+	if st.SegPops != 1 {
+		t.Fatalf("segment pops = %d after refill, want 1", st.SegPops)
+	}
+	if st.InUse != spill {
+		t.Fatalf("in use = %d, want %d", st.InUse, spill)
+	}
+}
+
+func TestCensusAccountsEverySlot(t *testing.T) {
+	const spill = 8
+	a := New(Config{Capacity: 64, MaxThreads: 2, Debug: true, SpillSize: spill})
+	var live []Handle
+	for i := 0; i < 40; i++ {
+		live = append(live, a.Alloc(0))
+	}
+	for _, h := range live[8:] { // 32 frees: one spill segment + 24 cached
+		a.SetRetireEra(h, 1)
+		a.Free(0, h)
+	}
+	c := a.Census()
+	if c.Cached != c.CachedLen {
+		t.Fatalf("cache walk %d disagrees with length counters %d", c.Cached, c.CachedLen)
+	}
+	if c.Segments < 1 || c.Global != spill*c.Segments {
+		t.Fatalf("global list = %d slots in %d segments, want %d per segment", c.Global, c.Segments, spill)
+	}
+	if c.Live != 8 {
+		t.Fatalf("live = %d, want 8", c.Live)
+	}
+	if got := c.Cached + c.Global + c.Live + c.BumpFree; got != c.Capacity {
+		t.Fatalf("census leak: %d cached + %d global + %d live + %d bump-free != capacity %d",
+			c.Cached, c.Global, c.Live, c.BumpFree, c.Capacity)
+	}
+}
+
+func TestCensusInvariantUnderChurn(t *testing.T) {
+	// The arena accounting invariant under a cross-thread churn storm:
+	// producers allocate and hand blocks to consumers over channels, so
+	// frees land on foreign tids and drive the batched spill/refill paths
+	// hard. Between rounds (quiescent barriers) every slot must be in
+	// exactly one place.
+	const (
+		producers = 2
+		consumers = 2
+		rounds    = 4
+		perRound  = 3000
+	)
+	a := New(Config{Capacity: 1 << 14, MaxThreads: producers + consumers, Debug: true, SpillSize: 32})
+	for round := 0; round < rounds; round++ {
+		ch := make(chan Handle, 256)
+		var wg sync.WaitGroup
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func(tid int) {
+				defer wg.Done()
+				for i := 0; i < perRound; i++ {
+					h := a.Alloc(tid)
+					a.SetRetireEra(h, 1)
+					ch <- h
+				}
+			}(p)
+		}
+		var closeOnce sync.WaitGroup
+		closeOnce.Add(1)
+		go func() { defer closeOnce.Done(); wg.Wait(); close(ch) }()
+		var cg sync.WaitGroup
+		for c := 0; c < consumers; c++ {
+			cg.Add(1)
+			go func(tid int) {
+				defer cg.Done()
+				for h := range ch {
+					a.Free(tid, h)
+				}
+			}(producers + c)
+		}
+		closeOnce.Wait()
+		cg.Wait()
+
+		c := a.Census()
+		if c.Cached != c.CachedLen {
+			t.Fatalf("round %d: cache walk %d disagrees with length counters %d", round, c.Cached, c.CachedLen)
+		}
+		if got := c.Cached + c.Global + c.Live + c.BumpFree; got != c.Capacity {
+			t.Fatalf("round %d: census leak: %d cached + %d global + %d live + %d bump-free = %d != capacity %d",
+				round, c.Cached, c.Global, c.Live, c.BumpFree, got, c.Capacity)
+		}
+	}
+	if st := a.Stats(); st.InUse != 0 || st.SegPushes == 0 {
+		t.Fatalf("after churn: InUse=%d SegPushes=%d (want 0, >0)", st.InUse, st.SegPushes)
 	}
 }
 
@@ -271,19 +386,24 @@ func TestConcurrentGlobalSpillStress(t *testing.T) {
 	if testing.Short() {
 		t.Skip("stress test")
 	}
-	// Producers free into the global list (via spill) while consumers
-	// allocate from it; the stamped head must prevent ABA-induced
-	// double-allocation, which the debug state machine would catch.
-	const threads = 6
-	a := New(Config{Capacity: 2 * threads * spillThreshold, MaxThreads: threads, Debug: true})
+	// Producers free into the global list (via batched spills) while
+	// consumers claim whole segments from it; the stamped head must
+	// prevent ABA-induced double-allocation, which the debug state machine
+	// would catch.
+	const (
+		threads = 6
+		spill   = 64
+		batch   = 2*spill + 32 // enough to cross the 2×SpillSize trigger
+	)
+	a := New(Config{Capacity: 2 * threads * batch, MaxThreads: threads, Debug: true, SpillSize: spill})
 	var wg sync.WaitGroup
 	for t0 := 0; t0 < threads; t0++ {
 		wg.Add(1)
 		go func(tid int) {
 			defer wg.Done()
-			local := make([]Handle, 0, spillThreshold+64)
-			for round := 0; round < 3; round++ {
-				for i := 0; i < spillThreshold+32; i++ {
+			local := make([]Handle, 0, batch)
+			for round := 0; round < 8; round++ {
+				for i := 0; i < batch; i++ {
 					local = append(local, a.Alloc(tid))
 				}
 				for _, h := range local {

@@ -59,10 +59,12 @@ const (
 )
 
 // Check asserts the quiescent census after Settle: the lease cache must
-// flush clean, every guard tid must be back on the freelist, and — when
-// assertBacklog is set (every scheme but the leak baseline) — the retired
-// backlog must have collapsed to the per-tid baseline. It returns the
-// first violation as an error so test and CLI harnesses share one recipe.
+// flush clean, every guard tid must be back on the freelist, the arena's
+// freelist census must account for every block (the segmented spill list
+// can neither lose nor duplicate slots), and — when assertBacklog is set
+// (every scheme but the leak baseline) — the retired backlog must have
+// collapsed to the per-tid baseline. It returns the first violation as an
+// error so test and CLI harnesses share one recipe.
 func Check[T any](d *wfe.Domain[T], assertBacklog bool) error {
 	if stranded := d.FlushGuardCache(); stranded != 0 {
 		return fmt.Errorf("quiesce: %d guards stranded in the lease cache after flush", stranded)
@@ -70,6 +72,10 @@ func Check[T any](d *wfe.Domain[T], assertBacklog bool) error {
 	tel := d.Telemetry()
 	if tel.GuardsFree != tel.MaxGuards {
 		return fmt.Errorf("quiesce: guard leak: %d/%d tids back on the freelist", tel.GuardsFree, tel.MaxGuards)
+	}
+	if c := d.ArenaCensus(); c.Cached+c.Global+c.Live+c.BumpFree != c.Capacity {
+		return fmt.Errorf("quiesce: arena census leak: %d cached + %d global + %d live + %d bump-free != capacity %d",
+			c.Cached, c.Global, c.Live, c.BumpFree, c.Capacity)
 	}
 	if !assertBacklog {
 		return nil

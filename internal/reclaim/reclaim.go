@@ -10,6 +10,7 @@
 package reclaim
 
 import (
+	"math"
 	"sync/atomic"
 
 	"wfe/internal/mem"
@@ -71,6 +72,13 @@ type Config struct {
 	// ForceSlowPath makes WFE take the slow path on every GetProtected,
 	// the stress configuration the paper validates with (§5).
 	ForceSlowPath bool
+	// LinearScan forces every cleanup scan back to the pre-overhaul
+	// O(R×G) per-block linear reservation sweep instead of the
+	// sorted-snapshot binary search (R retired blocks against G gathered
+	// reservations). It exists for the scan ablation (cmd/wfebench
+	// -ablation scan) and as the oracle configuration of the sorted-scan
+	// property tests; production configurations leave it false.
+	LinearScan bool
 }
 
 // Defaults fills unset fields with the paper's evaluation parameters.
@@ -98,6 +106,129 @@ func (c Config) Defaults() Config {
 		c.MaxAttempts = 16
 	}
 	return c
+}
+
+// ReservedInRange reports whether any era in the sorted snapshot lands in
+// the closed lifespan [lo, hi] — the sorted-scan membership kernel of the
+// era-based schemes (HE, WFE). Sorting the gathered reservation snapshot
+// once and binary-searching it per retired block turns cleanup from
+// O(R×G) into O((R+G)·log G); sorting changes nothing about the
+// snapshot's contents, so the schemes' conservativeness arguments carry
+// over unchanged.
+func ReservedInRange(sorted []uint64, lo, hi uint64) bool {
+	i := searchGE(sorted, lo)
+	return i < len(sorted) && sorted[i] <= hi
+}
+
+// SortCutoff is the gathered-reservation count below which cleanup keeps
+// the linear per-block sweep even in sorted-scan mode: under ~32 entries
+// the sweep is cheaper than sorting the snapshot and binary-searching it
+// (measured by cmd/wfebench -ablation scan; the interval schemes gather
+// one entry per thread, so small domains sit below this routinely). The
+// two tests are property-tested equivalent, so the cutoff is purely a
+// cost choice.
+const SortCutoff = 32
+
+// searchGE returns the index of the first element ≥ v in the sorted
+// slice (len(sorted) if none). It is sort.Search specialised to a flat
+// uint64 compare: cleanup runs one or two of these per retired block, so
+// the generic version's closure-call per probe is worth removing.
+func searchGE(sorted []uint64, v uint64) int {
+	i, j := 0, len(sorted)
+	for i < j {
+		m := int(uint(i+j) >> 1)
+		if sorted[m] < v {
+			i = m + 1
+		} else {
+			j = m
+		}
+	}
+	return i
+}
+
+// searchGT returns the index of the first element > v in the sorted
+// slice (len(sorted) if none).
+func searchGT(sorted []uint64, v uint64) int {
+	i, j := 0, len(sorted)
+	for i < j {
+		m := int(uint(i+j) >> 1)
+		if sorted[m] <= v {
+			i = m + 1
+		} else {
+			j = m
+		}
+	}
+	return i
+}
+
+// IntervalsOverlap reports whether any of the gathered reservation
+// intervals overlaps the closed lifespan [birth, retire] — the
+// sorted-scan kernel of the interval-based schemes (2GEIBR, WFE-IBR). It
+// takes the intervals' lower and upper endpoints sorted independently;
+// the sorting loses the lower/upper pairing, which the counting argument
+// never needs: a well-formed interval (lower ≤ upper) is disjoint from
+// [birth, retire] iff it ends before birth or starts after retire, those
+// two sets cannot intersect, and every other interval overlaps. So
+// overlap ⇔ #(upper < birth) + #(lower > retire) < n, two binary
+// searches per retired block.
+func IntervalsOverlap(los, his []uint64, birth, retire uint64) bool {
+	before := searchGE(his, birth)
+	after := len(los) - searchGT(los, retire)
+	return before+after < len(los)
+}
+
+// StepHistBuckets is the step-count histogram width: one bucket per
+// GetProtected iteration count, the last bucket collecting every longer
+// call.
+const StepHistBuckets = 64
+
+// StepHist is an owner-written histogram of per-call GetProtected step
+// counts, the distribution behind the paper's bounded-steps claim (the
+// MaxSteps worst case is its tail, the BENCH_*.json p99 its body). Each
+// thread records into its own padded copy with no synchronisation; merge
+// and query only quiescently, the same discipline as the schemes'
+// MaxSteps counters.
+type StepHist struct{ buckets [StepHistBuckets]uint64 }
+
+// Record counts one GetProtected call that took steps iterations.
+func (h *StepHist) Record(steps uint64) {
+	if steps >= StepHistBuckets {
+		steps = StepHistBuckets - 1
+	}
+	h.buckets[steps]++
+}
+
+// Merge accumulates other's counts into h.
+func (h *StepHist) Merge(other *StepHist) {
+	for i, v := range other.buckets {
+		h.buckets[i] += v
+	}
+}
+
+// Quantile returns the smallest step count s such that at least a q
+// fraction of the recorded calls took ≤ s steps (Quantile(0.99) is the
+// p99 step count). It returns 0 when nothing was recorded; the top
+// bucket reads as "StepHistBuckets-1 or more".
+func (h *StepHist) Quantile(q float64) uint64 {
+	var total uint64
+	for _, v := range h.buckets {
+		total += v
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, v := range h.buckets {
+		cum += v
+		if cum >= rank {
+			return uint64(i)
+		}
+	}
+	return StepHistBuckets - 1
 }
 
 // RetireList is the per-thread list of retired blocks shared by the

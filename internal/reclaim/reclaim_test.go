@@ -1,6 +1,11 @@
 package reclaim
 
-import "testing"
+import (
+	"math/rand"
+	"slices"
+	"sort"
+	"testing"
+)
 
 func TestDefaults(t *testing.T) {
 	d := Config{}.Defaults()
@@ -15,6 +20,60 @@ func TestDefaults(t *testing.T) {
 	c := Config{MaxThreads: 3, MaxHEs: 4, EraFreq: 5, CleanupFreq: 6, MaxAttempts: 7}.Defaults()
 	if c.MaxThreads != 3 || c.MaxHEs != 4 || c.EraFreq != 5 || c.CleanupFreq != 6 || c.MaxAttempts != 7 {
 		t.Fatalf("Defaults clobbered explicit values: %+v", c)
+	}
+}
+
+func TestSearchHelpersMatchSortSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 200; iter++ {
+		s := make([]uint64, rng.Intn(40))
+		for i := range s {
+			s[i] = uint64(rng.Intn(50))
+		}
+		slices.Sort(s)
+		for v := uint64(0); v < 52; v++ {
+			wantGE := sort.Search(len(s), func(k int) bool { return s[k] >= v })
+			wantGT := sort.Search(len(s), func(k int) bool { return s[k] > v })
+			if got := searchGE(s, v); got != wantGE {
+				t.Fatalf("searchGE(%v, %d) = %d, want %d", s, v, got, wantGE)
+			}
+			if got := searchGT(s, v); got != wantGT {
+				t.Fatalf("searchGT(%v, %d) = %d, want %d", s, v, got, wantGT)
+			}
+		}
+	}
+}
+
+func TestStepHistQuantile(t *testing.T) {
+	var h StepHist
+	if h.Quantile(0.99) != 0 {
+		t.Fatal("empty histogram must report 0")
+	}
+	// 99 one-step calls and one ten-step call: p50 = 1, p99 = 1, p100 = 10.
+	for i := 0; i < 99; i++ {
+		h.Record(1)
+	}
+	h.Record(10)
+	if got := h.Quantile(0.5); got != 1 {
+		t.Fatalf("p50 = %d, want 1", got)
+	}
+	if got := h.Quantile(0.99); got != 1 {
+		t.Fatalf("p99 = %d, want 1", got)
+	}
+	if got := h.Quantile(1.0); got != 10 {
+		t.Fatalf("p100 = %d, want 10", got)
+	}
+	// The tail bucket collects everything past the histogram width.
+	h.Record(1 << 40)
+	if got := h.Quantile(1.0); got != StepHistBuckets-1 {
+		t.Fatalf("overflow bucket = %d, want %d", got, StepHistBuckets-1)
+	}
+	// Merge accumulates.
+	var m StepHist
+	m.Merge(&h)
+	m.Merge(&h)
+	if got, want := m.Quantile(0.5), h.Quantile(0.5); got != want {
+		t.Fatalf("merged p50 = %d, want %d", got, want)
 	}
 }
 

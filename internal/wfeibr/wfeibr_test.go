@@ -1,6 +1,8 @@
 package wfeibr
 
 import (
+	"math/rand"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -15,6 +17,35 @@ func newWFEIBR(t *testing.T, threads int, cfg reclaim.Config) (*WFEIBR, *mem.Are
 	cfg.MaxThreads = threads
 	a := mem.New(mem.Config{Capacity: 1 << 14, MaxThreads: threads, Debug: true})
 	return New(a, cfg), a
+}
+
+func TestSortedScanMatchesLinearOracle(t *testing.T) {
+	// Property: on randomized special+normal interval sets, the
+	// sorted-endpoint counting test reaches exactly the free/keep decision
+	// of the pre-overhaul paired linear sweep (the retained oracle).
+	rng := rand.New(rand.NewSource(20260729))
+	for iter := 0; iter < 500; iter++ {
+		n := rng.Intn(48)
+		los := make([]uint64, n)
+		his := make([]uint64, n)
+		for i := range los {
+			los[i] = uint64(rng.Intn(120)) + 1
+			his[i] = los[i] + uint64(rng.Intn(20))
+		}
+		sortedLos := slices.Clone(los)
+		sortedHis := slices.Clone(his)
+		slices.Sort(sortedLos)
+		slices.Sort(sortedHis)
+		for b := 0; b < 32; b++ {
+			birth := uint64(rng.Intn(120)) + 1
+			retire := birth + uint64(rng.Intn(16))
+			want := intervalReservedLinear(los, his, birth, retire)
+			if got := reclaim.IntervalsOverlap(sortedLos, sortedHis, birth, retire); got != want {
+				t.Fatalf("lifespan [%d,%d] vs intervals (%v,%v): sorted=%v linear=%v",
+					birth, retire, los, his, got, want)
+			}
+		}
+	}
 }
 
 func TestSlowPathSelfCompletion(t *testing.T) {
