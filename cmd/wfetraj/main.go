@@ -1,0 +1,168 @@
+// Command wfetraj compares two BENCH_*.json trajectory artifacts (schema
+// wfe-bench/v1, written by cmd/wfebench -json) point by point: results are
+// joined on the (figure, scheme, threads) key and throughput deltas beyond
+// a configurable noise band are flagged as regressions or improvements.
+//
+// Usage:
+//
+//	wfetraj -base BENCH_BASELINE.json -new BENCH_5.json [-noise 10] [-flagged] [-strict]
+//
+// The default run is informational: every compared point is printed with
+// its delta and the exit status is 0 regardless of what moved (CI runs it
+// this way on every push, diffing the fresh artifact against the committed
+// baseline). With -strict the exit status is 1 when any regression exceeds
+// the noise band — the gate for release branches and for refreshing the
+// baseline deliberately. Points present in only one artifact (a different
+// thread sweep, a new figure) are reported but never fail the run.
+//
+// Absolute numbers from different hosts are not comparable; the artifact's
+// host metadata is printed so a cross-host diff is at least visibly one.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"wfe/internal/bench"
+)
+
+func main() {
+	var (
+		basePath = flag.String("base", "", "baseline BENCH_*.json artifact (required)")
+		newPath  = flag.String("new", "", "candidate BENCH_*.json artifact (required)")
+		noise    = flag.Float64("noise", 10, "noise band in percent: |delta| within it is neither regression nor improvement")
+		flagged  = flag.Bool("flagged", false, "print only points outside the noise band (coverage changes always print)")
+		strict   = flag.Bool("strict", false, "exit 1 when any regression exceeds the noise band")
+	)
+	flag.Parse()
+	if *basePath == "" || *newPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	base, err := loadReport(*basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wfetraj: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := loadReport(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wfetraj: %v\n", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("base %s  (%s)\nnew  %s  (%s)\n\n", *basePath, hostLine(base), *newPath, hostLine(cur))
+	cmp := compare(base, cur, *noise)
+	for _, l := range cmp.lines {
+		if *flagged && !l.outside {
+			continue
+		}
+		fmt.Println(l.text)
+	}
+	fmt.Printf("\n%d compared: %d regressions, %d improvements, %d within ±%.0f%% noise; %d only in base, %d only in new\n",
+		cmp.compared, cmp.regressions, cmp.improvements, cmp.compared-cmp.regressions-cmp.improvements,
+		*noise, cmp.onlyBase, cmp.onlyNew)
+	if *strict && cmp.regressions > 0 {
+		os.Exit(1)
+	}
+}
+
+func loadReport(path string) (bench.Report, error) {
+	var rep bench.Report
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %v", path, err)
+	}
+	if rep.Schema != bench.ReportSchema {
+		return rep, fmt.Errorf("%s: schema %q, this tool understands %q", path, rep.Schema, bench.ReportSchema)
+	}
+	return rep, nil
+}
+
+func hostLine(r bench.Report) string {
+	return fmt.Sprintf("%s %s/%s %dcpu, %dms x%d, prefill %d",
+		r.GoVersion, r.GOOS, r.GOARCH, r.NumCPU, r.DurationMS, r.Repeat, r.Prefill)
+}
+
+// key joins results across artifacts: one measured point per figure,
+// scheme and thread count.
+type key struct {
+	figure, scheme string
+	threads        int
+}
+
+type line struct {
+	text    string
+	outside bool
+}
+
+type comparison struct {
+	compared, regressions, improvements int
+	onlyBase, onlyNew                   int
+	lines                               []line
+}
+
+// compare joins the two artifacts' figure sweeps and classifies every
+// shared point's throughput delta against the noise band (in percent).
+// Unreclaimed-backlog movement is printed alongside but never classified:
+// it is workload-dependent and the conformance suite guards its bounds.
+func compare(base, cur bench.Report, noise float64) comparison {
+	baseByKey := map[key]bench.Result{}
+	for _, r := range base.Figures {
+		baseByKey[key{r.Figure, r.Scheme, r.Threads}] = r
+	}
+	var out comparison
+	seen := map[key]bool{}
+	for _, r := range cur.Figures {
+		k := key{r.Figure, r.Scheme, r.Threads}
+		seen[k] = true
+		b, ok := baseByKey[k]
+		if !ok {
+			out.onlyNew++
+			out.lines = append(out.lines, line{
+				text:    fmt.Sprintf("fig %-3s %-8s %3dt  %24s -> %7.3f Mops/s   (only in new)", k.figure, k.scheme, k.threads, "", r.Mops),
+				outside: true, // coverage changes always surface, even under -flagged
+			})
+			continue
+		}
+		out.compared++
+		delta := 0.0
+		if b.Mops > 0 {
+			delta = (r.Mops/b.Mops - 1) * 100
+		}
+		verdict := "ok"
+		outside := false
+		switch {
+		case delta < -noise:
+			verdict = "REGRESSION"
+			outside = true
+			out.regressions++
+		case delta > noise:
+			verdict = "improvement"
+			outside = true
+			out.improvements++
+		}
+		out.lines = append(out.lines, line{
+			text: fmt.Sprintf("fig %-3s %-8s %3dt  %7.3f -> %7.3f Mops/s  %+6.1f%%  %-11s  unreclaimed %.0f -> %.0f",
+				k.figure, k.scheme, k.threads, b.Mops, r.Mops, delta, verdict, b.Unreclaimed, r.Unreclaimed),
+			outside: outside,
+		})
+	}
+	for k := range baseByKey {
+		if !seen[k] {
+			out.onlyBase++
+			out.lines = append(out.lines, line{
+				text:    fmt.Sprintf("fig %-3s %-8s %3dt  %7.3f Mops/s ->                  (only in base)", k.figure, k.scheme, k.threads, baseByKey[k].Mops),
+				outside: true, // a point that vanished from the sweep is never noise
+			})
+		}
+	}
+	sort.Slice(out.lines, func(i, j int) bool { return out.lines[i].text < out.lines[j].text })
+	return out
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"wfe/internal/bench"
+)
+
+func point(fig, scheme string, threads int, mops float64) bench.Result {
+	return bench.Result{Figure: fig, Scheme: scheme, Threads: threads, Mops: mops}
+}
+
+func TestCompareClassifiesDeltas(t *testing.T) {
+	base := bench.Report{Figures: []bench.Result{
+		point("7", "WFE", 2, 1.0),
+		point("7", "HE", 2, 1.0),
+		point("7", "EBR", 2, 1.0),
+		point("7", "HP", 4, 1.0), // only in base
+	}}
+	cur := bench.Report{Figures: []bench.Result{
+		point("7", "WFE", 2, 0.80),  // -20%: regression
+		point("7", "HE", 2, 1.25),   // +25%: improvement
+		point("7", "EBR", 2, 1.05),  // +5%: inside the band
+		point("10", "WFE", 2, 2.00), // only in new
+	}}
+	cmp := compare(base, cur, 10)
+	if cmp.compared != 3 {
+		t.Fatalf("compared = %d, want 3", cmp.compared)
+	}
+	if cmp.regressions != 1 || cmp.improvements != 1 {
+		t.Fatalf("regressions/improvements = %d/%d, want 1/1", cmp.regressions, cmp.improvements)
+	}
+	if cmp.onlyBase != 1 || cmp.onlyNew != 1 {
+		t.Fatalf("onlyBase/onlyNew = %d/%d, want 1/1", cmp.onlyBase, cmp.onlyNew)
+	}
+	var regLine string
+	for _, l := range cmp.lines {
+		if strings.Contains(l.text, "REGRESSION") {
+			regLine = l.text
+		}
+	}
+	if !strings.Contains(regLine, "WFE") || !strings.Contains(regLine, "-20.0%") {
+		t.Fatalf("regression line wrong: %q", regLine)
+	}
+	// Coverage changes must survive the -flagged filter: a point that
+	// appeared or vanished is never noise.
+	for _, l := range cmp.lines {
+		if strings.Contains(l.text, "only in") && !l.outside {
+			t.Fatalf("only-in row not marked outside the band: %q", l.text)
+		}
+	}
+}
+
+func TestCompareNoiseBandBoundary(t *testing.T) {
+	base := bench.Report{Figures: []bench.Result{point("6", "HP", 1, 1.0)}}
+	cur := bench.Report{Figures: []bench.Result{point("6", "HP", 1, 0.905)}}
+	cmp := compare(base, cur, 10) // -9.5% sits inside ±10%
+	if cmp.regressions != 0 {
+		t.Fatalf("inside-band delta flagged as regression")
+	}
+	cmp = compare(base, cur, 5) // and outside ±5%
+	if cmp.regressions != 1 {
+		t.Fatalf("outside-band delta not flagged")
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	// A zero-Mops baseline point (an exhausted Leak run, say) must not
+	// divide by zero or flag anything.
+	base := bench.Report{Figures: []bench.Result{point("5a", "Leak", 2, 0)}}
+	cur := bench.Report{Figures: []bench.Result{point("5a", "Leak", 2, 3)}}
+	cmp := compare(base, cur, 10)
+	if cmp.compared != 1 || cmp.regressions != 0 || cmp.improvements != 0 {
+		t.Fatalf("zero baseline mishandled: %+v", cmp)
+	}
+}

@@ -458,9 +458,11 @@ func conformKVPhase(t *testing.T, d *wfe.Domain[uint64], api conformAPI,
 }
 
 // conformDrainPhase asserts quiescent cleanliness after the churn: the
-// structure is empty, every guard is back in the pool, and (for reclaiming
+// structure is empty, every guard is back in the pool, (for reclaiming
 // schemes) the retired-block backlog collapses once each tid's retire list
-// gets a settling scan.
+// gets a settling scan, and the shared retire-side runtime reported the
+// churn uniformly — cleanup scans examined blocks and the protect loops
+// recorded step histograms for every scheme, HP and EBR included.
 func conformDrainPhase(t *testing.T, d *wfe.Domain[uint64], api conformAPI, kind wfe.SchemeKind) {
 	t.Helper()
 	g := d.Guard()
@@ -480,6 +482,21 @@ func conformDrainPhase(t *testing.T, d *wfe.Domain[uint64], api conformAPI, kind
 	quiesce.Settle(d)
 	if err := quiesce.Check(d, kind != wfe.Leak); err != nil {
 		t.Fatal(err) // the leak baseline never reclaims by design, so it skips the backlog check
+	}
+	if kind != wfe.Leak { // Leak neither scans nor loops in GetProtected
+		tel := d.Telemetry()
+		if tel.ScanScans == 0 || tel.ScanBlocks == 0 {
+			t.Fatalf("%s: no cleanup-scan telemetry after churn: scans=%d blocks=%d",
+				kind, tel.ScanScans, tel.ScanBlocks)
+		}
+		if tel.P99Steps == 0 || tel.MaxSteps == 0 {
+			t.Fatalf("%s: no protect-loop step telemetry after churn: p99=%d max=%d",
+				kind, tel.P99Steps, tel.MaxSteps)
+		}
+		if tel.P99Steps > tel.MaxSteps {
+			t.Fatalf("%s: step quantiles inconsistent: p99=%d > max=%d",
+				kind, tel.P99Steps, tel.MaxSteps)
+		}
 	}
 }
 

@@ -127,6 +127,14 @@ type Options struct {
 	// MaxAttempts bounds WFE's fast path before it requests helping
 	// (default 16).
 	MaxAttempts int
+	// SortCutoff is the gathered-reservation count below which a cleanup
+	// scan keeps the linear per-block sweep instead of sorting the
+	// snapshot and binary-searching it. The default (0) measures the
+	// crossover once per process on the host itself (a sub-millisecond
+	// calibration), so deployments pick the cutoff for their hardware;
+	// set it explicitly for bit-deterministic tuning. Purely a cost
+	// choice — the two scan implementations decide identically.
+	SortCutoff int
 	// ForceSlowPath makes WFE and WFEIBR take the helping slow path on
 	// every protected read — the paper's §5 stress validation mode.
 	ForceSlowPath bool
@@ -216,6 +224,7 @@ func NewDomain[T any](opts Options) (*Domain[T], error) {
 		{"CleanupFreq", opts.CleanupFreq},
 		{"MaxAttempts", opts.MaxAttempts},
 		{"SpillSize", opts.SpillSize},
+		{"SortCutoff", opts.SortCutoff},
 	} {
 		if tune.v < 0 {
 			return nil, fmt.Errorf("wfe: %s %d must be non-negative (0 selects the default)", tune.name, tune.v)
@@ -234,6 +243,7 @@ func NewDomain[T any](opts Options) (*Domain[T], error) {
 		CleanupFreq:   opts.CleanupFreq,
 		MaxAttempts:   opts.MaxAttempts,
 		ForceSlowPath: opts.ForceSlowPath,
+		SortCutoff:    opts.SortCutoff,
 	}
 	smr, err := schemes.New(opts.Scheme.String(), arena, cfg)
 	if err != nil {
@@ -456,12 +466,21 @@ type Telemetry struct {
 	Era         uint64 // global era/epoch clock (0 for clock-less schemes)
 	SlowPaths   uint64 // protected reads that requested helping (WFE/WFEIBR)
 	MaxSteps    uint64 // worst protect-loop iteration count seen by any guard
-	P99Steps    uint64 // p99 protect-loop iteration count (schemes with step tracking; sample quiescently)
+	P99Steps    uint64 // p99 protect-loop iteration count (every protecting scheme; sample quiescently)
 	Unreclaimed int    // retired blocks not yet recycled
 	Allocs      uint64 // total block allocations
 	Frees       uint64 // total blocks recycled
 	InUse       uint64 // Allocs - Frees
 	Capacity    int    // arena size in blocks
+
+	// Cleanup-scan telemetry, uniform across every scheme via the shared
+	// retire-side runtime: how many retire-list scans ran, how many
+	// retired blocks they examined, and the nanoseconds they spent.
+	// Sample quiescently for exact values. The Leak baseline never scans,
+	// so its three counters stay zero.
+	ScanScans  uint64
+	ScanBlocks uint64
+	ScanNanos  uint64
 
 	// Arena fast-path counters. SegPushes/SegPops count whole-segment
 	// transfers on the global free list (each moving Options.SpillSize
@@ -484,17 +503,27 @@ type Telemetry struct {
 }
 
 // Telemetry samples the Domain's counters. The snapshot is approximate
-// under concurrency, which is fine for its monitoring purpose.
+// under concurrency, which is fine for its monitoring purpose. The
+// retire-side counters (steps, scans, backlog) read through the scheme's
+// shared runtime, one path for all seven schemes.
 func (d *Domain[T]) Telemetry() Telemetry {
 	st := d.arena.Stats()
 	gp := d.guards.Stats()
+	rt := d.smr.Retirer()
+	scan := rt.Stats()
 	t := Telemetry{
 		Scheme:      d.kind.String(),
-		Unreclaimed: d.smr.Unreclaimed(),
+		MaxSteps:    rt.MaxSteps(),
+		P99Steps:    rt.StepQuantile(0.99),
+		Unreclaimed: rt.Unreclaimed(),
 		Allocs:      st.Allocs,
 		Frees:       st.Frees,
 		InUse:       st.InUse,
 		Capacity:    d.arena.Capacity(),
+
+		ScanScans:  scan.Scans,
+		ScanBlocks: scan.Blocks,
+		ScanNanos:  scan.Nanos,
 
 		ArenaSegPushes:     st.SegPushes,
 		ArenaSegPops:       st.SegPops,
@@ -512,12 +541,6 @@ func (d *Domain[T]) Telemetry() Telemetry {
 	}
 	if s, ok := d.smr.(interface{ SlowPaths() uint64 }); ok {
 		t.SlowPaths = s.SlowPaths()
-	}
-	if m, ok := d.smr.(interface{ MaxSteps() uint64 }); ok {
-		t.MaxSteps = m.MaxSteps()
-	}
-	if s, ok := d.smr.(interface{ StepQuantile(float64) uint64 }); ok {
-		t.P99Steps = s.StepQuantile(0.99)
 	}
 	return t
 }

@@ -148,9 +148,9 @@ type Result struct {
 	Unreclaimed    float64 `json:"unreclaimed_mean"` // mean sampled retired-not-freed blocks
 	UnreclaimedMax int     `json:"unreclaimed_max"`  // highwater of the same samples
 	SlowPaths      uint64  `json:"slow_paths"`       // WFE only: slow-path entries during measurement
-	MaxSteps       uint64  `json:"max_steps"`        // worst GetProtected step count (step-tracking schemes)
-	P99Steps       uint64  `json:"p99_steps"`        // p99 GetProtected step count (step-tracking schemes)
-	ScanScans      uint64  `json:"scan_scans"`       // cleanup scans run (schemes with scan telemetry)
+	MaxSteps       uint64  `json:"max_steps"`        // worst GetProtected step count (every protecting scheme)
+	P99Steps       uint64  `json:"p99_steps"`        // p99 GetProtected step count (every protecting scheme)
+	ScanScans      uint64  `json:"scan_scans"`       // cleanup scans run (all schemes, via the shared retire runtime)
 	ScanBlocks     uint64  `json:"scan_blocks"`      // retired blocks those scans examined
 	ScanNanos      uint64  `json:"scan_nanos"`       // total nanoseconds spent in cleanup scans
 	Exhausted      bool    `json:"exhausted"`        // arena filled up mid-run (Leak with long durations)
@@ -282,7 +282,7 @@ func runOne(exp Experiment, schemeName string, threads int, opt Options) Result 
 	// baseline them away so the scan telemetry describes the measured
 	// window only (the step quantiles stay whole-run: a max cannot be
 	// baselined and prefill's uncontended reads all take one step).
-	baseScans, baseScanBlocks, baseScanNanos := cleanupStats(smr)
+	baseScan := smr.Retirer().Stats()
 
 	// Unreclaimed sampler (the paper's second panel).
 	var samples []int
@@ -396,17 +396,15 @@ func runOne(exp Experiment, schemeName string, threads int, opt Options) Result 
 		Exhausted:      exhausted.Load(),
 	}
 	// The workers are joined: the owner-written step histograms and scan
-	// counters are safe to sample now.
-	if m, ok := smr.(interface{ MaxSteps() uint64 }); ok {
-		r.MaxSteps = m.MaxSteps()
-	}
-	if s, ok := smr.(interface{ StepQuantile(float64) uint64 }); ok {
-		r.P99Steps = s.StepQuantile(0.99)
-	}
-	r.ScanScans, r.ScanBlocks, r.ScanNanos = cleanupStats(smr)
-	r.ScanScans -= baseScans
-	r.ScanBlocks -= baseScanBlocks
-	r.ScanNanos -= baseScanNanos
+	// counters are safe to sample now — uniformly, through the scheme's
+	// shared retire-side runtime.
+	rt := smr.Retirer()
+	r.MaxSteps = rt.MaxSteps()
+	r.P99Steps = rt.StepQuantile(0.99)
+	scan := rt.Stats()
+	r.ScanScans = scan.Scans - baseScan.Scans
+	r.ScanBlocks = scan.Blocks - baseScan.Blocks
+	r.ScanNanos = scan.Nanos - baseScan.Nanos
 	return r
 }
 

@@ -26,8 +26,8 @@ type ScanResult struct {
 	Scheme   string `json:"scheme"`
 	Mode     string `json:"mode"` // "linear" or "sorted"
 	// AdaptiveLinear marks a sorted-mode row whose gathered reservation
-	// set sat below reclaim.SortCutoff, so cleanup adaptively ran the
-	// linear sweep anyway: the pair compares nothing and reads ~1.0x.
+	// set sat below the runtime's sort cutoff, so cleanup adaptively ran
+	// the linear sweep anyway: the pair compares nothing and reads ~1.0x.
 	AdaptiveLinear bool    `json:"adaptive_linear,omitempty"`
 	Threads        int     `json:"threads"`
 	Mops           float64 `json:"mops"`
@@ -125,7 +125,7 @@ func microScan(scheme string, threads, rounds int, linear bool) ScanResult {
 			smr.GetProtected(t, &root, j, 0)
 		}
 	}
-	baseScans, baseBlocks, baseNanos := cleanupStats(smr)
+	base := smr.Retirer().Stats()
 
 	start := time.Now()
 	for i := 0; i < rounds; i++ {
@@ -133,14 +133,14 @@ func microScan(scheme string, threads, rounds int, linear bool) ScanResult {
 	}
 	elapsed := time.Since(start)
 
-	scans, blocks, nanos := cleanupStats(smr)
-	scans -= baseScans
-	blocks -= baseBlocks
-	nanos -= baseNanos
+	st := smr.Retirer().Stats()
+	scans := st.Scans - base.Scans
+	blocks := st.Blocks - base.Blocks
+	nanos := st.Nanos - base.Nanos
 	// An interval scheme gathers one reservation per thread, an era scheme
-	// maxHEs per thread; below reclaim.SortCutoff the sorted mode runs the
-	// adaptive linear path, which AdaptiveLinear flags honestly instead of
-	// pretending the pair compares anything.
+	// maxHEs per thread; below the runtime's sort cutoff the sorted mode
+	// runs the adaptive linear path, which AdaptiveLinear flags honestly
+	// instead of pretending the pair compares anything.
 	gathered := threads
 	if scheme == "WFE" || scheme == "HE" {
 		gathered = threads * maxHEs
@@ -155,7 +155,7 @@ func microScan(scheme string, threads, rounds int, linear bool) ScanResult {
 		Workload:       "churn",
 		Scheme:         smr.Name(),
 		Mode:           mode,
-		AdaptiveLinear: !linear && gathered < reclaim.SortCutoff,
+		AdaptiveLinear: !linear && gathered < smr.Retirer().Cutoff(),
 		Threads:        threads,
 		Mops:           float64(rounds) / elapsed.Seconds() / 1e6,
 		Scans:          scans,
@@ -166,15 +166,6 @@ func microScan(scheme string, threads, rounds int, linear bool) ScanResult {
 		r.NsPerBlock = float64(nanos) / float64(blocks)
 	}
 	return r
-}
-
-func cleanupStats(smr reclaim.Scheme) (scans, blocks, nanos uint64) {
-	if c, ok := smr.(interface {
-		CleanupStats() (uint64, uint64, uint64)
-	}); ok {
-		return c.CleanupStats()
-	}
-	return 0, 0, 0
 }
 
 // AblationScan runs the controlled cleanup microbenchmark at 16 and 64

@@ -241,13 +241,14 @@ func TestParentProtectedDuringHelp(t *testing.T) {
 	postRequest(w, 0, 0, a.WordAddr(parent, 0), parentEra)
 
 	// Manually occupy thread 1's special reservation as helpThread would
-	// mid-flight, and retire the parent without letting Retire's own
-	// incrementEra help (and thereby complete) the posted request.
+	// mid-flight, and stage the retired parent directly (rt.Add skips the
+	// retire cadence, so Retire's own incrementEra cannot help — and
+	// thereby complete — the posted request).
 	w.resv(1, w.cfg.MaxHEs).Store(uint64(pack.MakeEraTag(parentEra, 0)))
-	w.threads[1].retireCount = 1 // skip Retire's periodic cleanup
-	w.Retire(1, parent)
+	w.arena.SetRetireEra(parent, w.globalEra.Load())
+	w.rt.Add(1, parent)
 
-	w.cleanup(1)
+	w.rt.Scan(1)
 	if !a.Live(parent) {
 		t.Fatal("parent freed while covered by a special reservation")
 	}
@@ -258,7 +259,7 @@ func TestParentProtectedDuringHelp(t *testing.T) {
 	w.counterEnd.Add(1)
 	w.slot(0, 0).result.Store(uint64(pack.MakeRes(0, pack.Inf)))
 	w.Clear(0)
-	w.cleanup(1)
+	w.rt.Scan(1)
 	if a.Live(parent) {
 		t.Fatal("parent not freed after special reservation released")
 	}
@@ -280,13 +281,13 @@ func TestCleanupGateWhileSlowPathInFlight(t *testing.T) {
 	w.resv(0, 0).Store(uint64(pack.MakeEraTag(blkEra, 0)))
 
 	w.Retire(1, blk)
-	w.cleanup(1)
+	w.rt.Scan(1)
 	if !a.Live(blk) {
 		t.Fatal("reserved block freed")
 	}
 
 	w.Clear(0)
-	w.cleanup(1)
+	w.rt.Scan(1)
 	if a.Live(blk) {
 		t.Fatal("block survived cleanup with no reservations")
 	}

@@ -11,6 +11,10 @@
 // "EBR" series of the evaluation figures (§5). The paper's Table 1 places
 // EBR at the opposite corner from WFE: cheapest reads, weakest memory
 // bound.
+//
+// The retire side lives in the shared reclaim.Retirer; this package
+// contributes the epoch clock and its threshold Judge (Gather the scan's
+// epoch, CanFree whatever was retired at least two epochs before it).
 package ebr
 
 import (
@@ -23,23 +27,16 @@ import (
 // announcement encoding: epoch<<1 | active.
 const activeBit = 1
 
-type retiredBlock struct {
-	h     mem.Handle
-	epoch uint64
-}
-
 type threadState struct {
-	allocCount  uint64
-	retireCount uint64
-	retired     []retiredBlock
-	retiredLen  atomic.Int64
-	_           [64]byte
+	allocCount uint64
+	_          [64]byte
 }
 
 // EBR is the epoch-based reclamation scheme.
 type EBR struct {
 	arena       *mem.Arena
 	cfg         reclaim.Config
+	rt          *reclaim.Retirer
 	globalEpoch atomic.Uint64
 	announce    []atomic.Uint64 // one padded word per thread
 	stride      int
@@ -47,6 +44,8 @@ type EBR struct {
 }
 
 var _ reclaim.Scheme = (*EBR)(nil)
+var _ reclaim.Judge = (*EBR)(nil)
+var _ reclaim.PreScanner = (*EBR)(nil)
 
 // New creates an EBR scheme over the given arena.
 func New(arena *mem.Arena, cfg reclaim.Config) *EBR {
@@ -59,6 +58,7 @@ func New(arena *mem.Arena, cfg reclaim.Config) *EBR {
 		stride:   stride,
 		threads:  make([]threadState, cfg.MaxThreads),
 	}
+	e.rt = reclaim.NewRetirer(arena, cfg, e)
 	e.globalEpoch.Store(2)
 	return e
 }
@@ -68,6 +68,9 @@ func (e *EBR) Name() string { return "EBR" }
 
 // Arena implements reclaim.Scheme.
 func (e *EBR) Arena() *mem.Arena { return e.arena }
+
+// Retirer implements reclaim.Scheme.
+func (e *EBR) Retirer() *reclaim.Retirer { return e.rt }
 
 // Epoch returns the global epoch.
 func (e *EBR) Epoch() uint64 { return e.globalEpoch.Load() }
@@ -80,8 +83,11 @@ func (e *EBR) Begin(tid int) {
 }
 
 // GetProtected under EBR is a plain load: the epoch announcement already
-// protects everything reachable during the operation.
+// protects everything reachable during the operation. Every call is one
+// step by construction; recording it keeps the bounded-steps histograms
+// comparable across all schemes.
 func (e *EBR) GetProtected(tid int, src *atomic.Uint64, index int, parent mem.Handle) uint64 {
+	e.rt.RecordSteps(tid, 1)
 	return src.Load()
 }
 
@@ -102,18 +108,11 @@ func (e *EBR) Alloc(tid int) mem.Handle {
 	return e.arena.Alloc(tid)
 }
 
-// Retire tags the block with the current epoch and periodically scans.
+// Retire tags the block with the current epoch and hands it to the shared
+// retire-side runtime, which scans every CleanupFreq retirements.
 func (e *EBR) Retire(tid int, blk mem.Handle) {
-	ep := e.globalEpoch.Load()
-	e.arena.SetRetireEra(blk, ep)
-	t := &e.threads[tid]
-	t.retired = append(t.retired, retiredBlock{blk, ep})
-	t.retiredLen.Store(int64(len(t.retired)))
-	if t.retireCount%uint64(e.cfg.CleanupFreq) == 0 {
-		e.tryAdvance()
-		e.cleanup(tid)
-	}
-	t.retireCount++
+	e.arena.SetRetireEra(blk, e.globalEpoch.Load())
+	e.rt.Retire(tid, blk)
 }
 
 // tryAdvance bumps the global epoch iff every active thread has announced
@@ -130,28 +129,23 @@ func (e *EBR) tryAdvance() {
 	e.globalEpoch.CompareAndSwap(cur, cur+1)
 }
 
-// cleanup frees blocks retired at least two epochs ago: no thread active in
-// the current or previous epoch can hold them.
-func (e *EBR) cleanup(tid int) {
-	cur := e.globalEpoch.Load()
-	t := &e.threads[tid]
-	keep := t.retired[:0]
-	for _, rb := range t.retired {
-		if rb.epoch+2 <= cur {
-			e.arena.Free(tid, rb.h)
-		} else {
-			keep = append(keep, rb)
-		}
-	}
-	t.retired = keep
-	t.retiredLen.Store(int64(len(keep)))
+// PreScan implements reclaim.PreScanner: attempt an epoch advance right
+// before each gated cleanup scan, so retire-heavy phases keep the clock
+// moving.
+func (e *EBR) PreScan(tid int, blk mem.Handle) { e.tryAdvance() }
+
+// Gather implements reclaim.Judge. EBR gathers no reservations — the
+// grace-period test needs only the scan's epoch, stashed as a scalar.
+func (e *EBR) Gather(tid int, s *reclaim.Snapshot) {
+	s.SetAux(0, e.globalEpoch.Load())
+}
+
+// CanFree implements reclaim.Judge: a block retired at least two epochs
+// before the scan's epoch is unreachable — no thread active in the current
+// or previous epoch can hold it.
+func (e *EBR) CanFree(tid int, s *reclaim.Snapshot, blk mem.Handle) bool {
+	return e.arena.RetireEra(blk)+2 <= s.Aux(0)
 }
 
 // Unreclaimed implements reclaim.Scheme.
-func (e *EBR) Unreclaimed() int {
-	total := 0
-	for i := range e.threads {
-		total += int(e.threads[i].retiredLen.Load())
-	}
-	return total
-}
+func (e *EBR) Unreclaimed() int { return e.rt.Unreclaimed() }

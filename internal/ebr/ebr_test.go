@@ -47,19 +47,21 @@ func TestTwoEpochGracePeriod(t *testing.T) {
 	blk := e.Alloc(0)
 	ep := e.Epoch()
 	a.SetRetireEra(blk, ep)
-	e.threads[0].retired = append(e.threads[0].retired, retiredBlock{blk, ep})
+	// Stage the retired block directly (no cadence hooks, no epoch
+	// advance) and drive the scans by hand.
+	e.rt.Add(0, blk)
 
-	e.cleanup(0)
+	e.rt.Scan(0)
 	if !a.Live(blk) {
 		t.Fatal("block freed in its retirement epoch")
 	}
 	e.globalEpoch.Add(1)
-	e.cleanup(0)
+	e.rt.Scan(0)
 	if !a.Live(blk) {
 		t.Fatal("block freed one epoch after retirement")
 	}
 	e.globalEpoch.Add(1)
-	e.cleanup(0)
+	e.rt.Scan(0)
 	if a.Live(blk) {
 		t.Fatal("block not freed two epochs after retirement")
 	}

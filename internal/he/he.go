@@ -8,12 +8,15 @@
 // scan. The unbounded get_protected loop here is the paper's motivating
 // problem; its per-thread worst case is observable through MaxSteps, and
 // examples/boundedsteps turns the difference into a latency table.
+//
+// The retire side — retire lists, scan cadence, telemetry — lives in the
+// shared reclaim.Retirer; this package contributes the era clock, the
+// reservation matrix, and its era Judge (Gather the published eras,
+// CanFree every block whose [alloc, retire] lifespan none covers).
 package he
 
 import (
-	"slices"
 	"sync/atomic"
-	"time"
 
 	"wfe/internal/mem"
 	"wfe/internal/pack"
@@ -21,31 +24,18 @@ import (
 )
 
 type threadState struct {
-	allocCount  uint64
-	retireCount uint64
+	allocCount uint64
 	// dirty is one past the highest reservation index used since the last
 	// Clear.
-	dirty   int
-	retired reclaim.RetireList
-	scratch []uint64 // reusable gathered-era buffer
-	// maxSteps is the largest number of protect-loop iterations any single
-	// GetProtected call by this thread has needed — the unboundedness the
-	// paper's contribution removes, observable.
-	maxSteps uint64
-	// stepHist is the full step-count distribution behind maxSteps;
-	// BENCH_*.json reports its p99.
-	stepHist reclaim.StepHist
-	// Cleanup-scan telemetry (owner-written; read quiescently).
-	scanScans  uint64
-	scanBlocks uint64
-	scanNanos  uint64
-	_          [64]byte
+	dirty int
+	_     [64]byte
 }
 
 // HE is the Hazard Eras scheme.
 type HE struct {
 	arena     *mem.Arena
 	cfg       reclaim.Config
+	rt        *reclaim.Retirer
 	globalEra atomic.Uint64
 
 	reservations []atomic.Uint64 // row-major [MaxThreads][MaxHEs] eras
@@ -54,6 +44,8 @@ type HE struct {
 }
 
 var _ reclaim.Scheme = (*HE)(nil)
+var _ reclaim.Judge = (*HE)(nil)
+var _ reclaim.PreScanner = (*HE)(nil)
 
 // New creates a Hazard Eras scheme over the given arena.
 func New(arena *mem.Arena, cfg reclaim.Config) *HE {
@@ -66,6 +58,7 @@ func New(arena *mem.Arena, cfg reclaim.Config) *HE {
 		rowStride:    stride,
 		threads:      make([]threadState, cfg.MaxThreads),
 	}
+	h.rt = reclaim.NewRetirer(arena, cfg, h)
 	h.globalEra.Store(1)
 	for i := range h.reservations {
 		h.reservations[i].Store(pack.Inf)
@@ -82,6 +75,9 @@ func (h *HE) Begin(tid int) {}
 // Arena implements reclaim.Scheme.
 func (h *HE) Arena() *mem.Arena { return h.arena }
 
+// Retirer implements reclaim.Scheme.
+func (h *HE) Retirer() *reclaim.Retirer { return h.rt }
+
 // Era returns the current global era clock value.
 func (h *HE) Era() uint64 { return h.globalEra.Load() }
 
@@ -91,7 +87,8 @@ func (h *HE) resv(tid, j int) *atomic.Uint64 {
 
 // GetProtected is the paper's Figure 1 loop: publish the era observed while
 // reading until the global era stops moving. Lock-free, not wait-free —
-// this is precisely the loop WFE bounds.
+// this is precisely the loop WFE bounds. Each call's iteration count feeds
+// the shared step histogram (the unboundedness, observable).
 func (h *HE) GetProtected(tid int, src *atomic.Uint64, index int, parent mem.Handle) uint64 {
 	t := &h.threads[tid]
 	if index >= t.dirty {
@@ -103,10 +100,7 @@ func (h *HE) GetProtected(tid int, src *atomic.Uint64, index int, parent mem.Han
 		ret := src.Load()
 		newEra := h.globalEra.Load()
 		if prevEra == newEra {
-			if steps > t.maxSteps {
-				t.maxSteps = steps
-			}
-			t.stepHist.Record(steps)
+			h.rt.RecordSteps(tid, steps)
 			return ret
 		}
 		r.Store(newEra)
@@ -116,39 +110,7 @@ func (h *HE) GetProtected(tid int, src *atomic.Uint64, index int, parent mem.Han
 
 // MaxSteps reports the worst protect-loop iteration count observed by any
 // thread for a single GetProtected call.
-func (h *HE) MaxSteps() uint64 {
-	var max uint64
-	for i := range h.threads {
-		if n := h.threads[i].maxSteps; n > max {
-			max = n
-		}
-	}
-	return max
-}
-
-// StepQuantile returns the q-quantile of per-call GetProtected step
-// counts across all threads. Call quiescently: the histograms are
-// owner-written without synchronisation.
-func (h *HE) StepQuantile(q float64) uint64 {
-	var sum reclaim.StepHist
-	for i := range h.threads {
-		sum.Merge(&h.threads[i].stepHist)
-	}
-	return sum.Quantile(q)
-}
-
-// CleanupStats reports how many cleanup scans ran, how many retired
-// blocks they examined, and the nanoseconds they spent — the scan
-// ablation's cleanup-cost metric. Call quiescently.
-func (h *HE) CleanupStats() (scans, blocks, nanos uint64) {
-	for i := range h.threads {
-		t := &h.threads[i]
-		scans += t.scanScans
-		blocks += t.scanBlocks
-		nanos += t.scanNanos
-	}
-	return
-}
+func (h *HE) MaxSteps() uint64 { return h.rt.MaxSteps() }
 
 // Alloc implements the paper's alloc_block.
 func (h *HE) Alloc(tid int) mem.Handle {
@@ -162,19 +124,21 @@ func (h *HE) Alloc(tid int) mem.Handle {
 	return blk
 }
 
-// Retire implements the paper's retire, with the race fix: the era is only
-// advanced if the block's retire era still equals the global era.
+// Retire implements the paper's retire: stamp the retire era and hand the
+// block to the shared retire-side runtime (PreScan applies the race fix
+// right before each gated scan).
 func (h *HE) Retire(tid int, blk mem.Handle) {
 	h.arena.SetRetireEra(blk, h.globalEra.Load())
-	t := &h.threads[tid]
-	t.retired.Append(blk)
-	if t.retireCount%uint64(h.cfg.CleanupFreq) == 0 {
-		if h.arena.RetireEra(blk) == h.globalEra.Load() {
-			h.advanceEra()
-		}
-		h.cleanup(tid)
+	h.rt.Retire(tid, blk)
+}
+
+// PreScan implements reclaim.PreScanner — the paper's retire() race fix:
+// the era is only advanced if the triggering block's retire era still
+// equals the global era.
+func (h *HE) PreScan(tid int, blk mem.Handle) {
+	if h.arena.RetireEra(blk) == h.globalEra.Load() {
+		h.advanceEra()
 	}
-	t.retireCount++
 }
 
 // advanceEra bumps the clock, guarding the 38-bit packing bound.
@@ -197,49 +161,26 @@ func (h *HE) Clear(tid int) {
 	t.dirty = 0
 }
 
-// cleanup gathers the published eras once and frees every retired block
-// whose lifespan none of them covers. The snapshot can only keep more
-// blocks than Figure 1's per-block re-scan (a reservation cleared mid-scan
-// is still honoured); a reservation published after the snapshot cannot
-// protect an already-retired block, by the same argument that makes the
-// per-block scan sound. The snapshot is sorted once and binary-searched
-// per block — O((R+G)·log G) instead of the per-block linear sweep's
-// O(R×G) — unless LinearScan pins the reference oracle.
-func (h *HE) cleanup(tid int) {
-	t := &h.threads[tid]
-	blocks := t.retired.Blocks
-	if len(blocks) == 0 {
-		return
-	}
-	start := time.Now()
-	eras := t.scratch[:0]
+// Gather implements reclaim.Judge: snapshot the published eras once per
+// scan. The snapshot can only keep more blocks than Figure 1's per-block
+// re-scan (a reservation cleared mid-scan is still honoured); a
+// reservation published after the snapshot cannot protect an
+// already-retired block, by the same argument that makes the per-block
+// scan sound.
+func (h *HE) Gather(tid int, s *reclaim.Snapshot) {
 	for i := 0; i < h.cfg.MaxThreads; i++ {
 		for j := 0; j < h.cfg.MaxHEs; j++ {
 			if era := h.resv(i, j).Load(); era != pack.Inf {
-				eras = append(eras, era)
+				s.AddEra(era)
 			}
 		}
 	}
-	t.scratch = eras
-	// Below the cutoff the linear sweep beats sort+search; the two tests
-	// decide identically (property-tested), so this is purely a cost call.
-	linear := h.cfg.LinearScan || len(eras) < reclaim.SortCutoff
-	if !linear {
-		slices.Sort(eras)
-	}
+}
 
-	keep := blocks[:0]
-	for _, blk := range blocks {
-		if h.canDelete(blk, eras, linear) {
-			h.arena.Free(tid, blk)
-		} else {
-			keep = append(keep, blk)
-		}
-	}
-	t.retired.SetBlocks(keep)
-	t.scanScans++
-	t.scanBlocks += uint64(len(blocks))
-	t.scanNanos += uint64(time.Since(start))
+// CanFree implements reclaim.Judge via canDelete, which retains the
+// pre-overhaul linear sweep as the property-tested reference oracle.
+func (h *HE) CanFree(tid int, s *reclaim.Snapshot, blk mem.Handle) bool {
+	return h.canDelete(blk, s.Eras(), s.Linear())
 }
 
 // canDelete reports whether no gathered era lands in the block's
@@ -267,10 +208,4 @@ func eraReservedLinear(eras []uint64, lo, hi uint64) bool {
 }
 
 // Unreclaimed implements reclaim.Scheme.
-func (h *HE) Unreclaimed() int {
-	total := 0
-	for i := range h.threads {
-		total += h.threads[i].retired.Len()
-	}
-	return total
-}
+func (h *HE) Unreclaimed() int { return h.rt.Unreclaimed() }

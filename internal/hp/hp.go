@@ -11,10 +11,14 @@
 //
 // Reservations here hold link values with mark bits stripped: protection is
 // per block, independent of the logical-deletion bits a link may carry.
+//
+// The retire side — the per-thread retire list, scan cadence and telemetry
+// — lives in the shared reclaim.Retirer; this package contributes only the
+// hazard matrix and its identity Judge (Gather the published handles,
+// CanFree whatever is not among them — Michael's scan).
 package hp
 
 import (
-	"sort"
 	"sync/atomic"
 
 	"wfe/internal/mem"
@@ -23,18 +27,16 @@ import (
 )
 
 type threadState struct {
-	retireCount uint64
 	// dirty is one past the highest hazard index used since the last Clear.
-	dirty   int
-	retired reclaim.RetireList
-	scratch []mem.Handle // reusable scan buffer
-	_       [64]byte
+	dirty int
+	_     [64]byte
 }
 
 // HP is the Hazard Pointers scheme.
 type HP struct {
 	arena *mem.Arena
 	cfg   reclaim.Config
+	rt    *reclaim.Retirer
 
 	hazards   []atomic.Uint64 // row-major [MaxThreads][MaxHEs] handles; 0 = none
 	rowStride int
@@ -42,18 +44,21 @@ type HP struct {
 }
 
 var _ reclaim.Scheme = (*HP)(nil)
+var _ reclaim.Judge = (*HP)(nil)
 
 // New creates a Hazard Pointers scheme over the given arena.
 func New(arena *mem.Arena, cfg reclaim.Config) *HP {
 	cfg = cfg.Defaults()
 	stride := (cfg.MaxHEs + 7) &^ 7
-	return &HP{
+	h := &HP{
 		arena:     arena,
 		cfg:       cfg,
 		hazards:   make([]atomic.Uint64, cfg.MaxThreads*stride),
 		rowStride: stride,
 		threads:   make([]threadState, cfg.MaxThreads),
 	}
+	h.rt = reclaim.NewRetirer(arena, cfg, h)
+	return h
 }
 
 // Name implements reclaim.Scheme.
@@ -64,6 +69,9 @@ func (h *HP) Begin(tid int) {}
 
 // Arena implements reclaim.Scheme.
 func (h *HP) Arena() *mem.Arena { return h.arena }
+
+// Retirer implements reclaim.Scheme.
+func (h *HP) Retirer() *reclaim.Retirer { return h.rt }
 
 func (h *HP) hazard(tid, j int) *atomic.Uint64 {
 	return &h.hazards[tid*h.rowStride+j]
@@ -77,10 +85,11 @@ func (h *HP) GetProtected(tid int, src *atomic.Uint64, index int, parent mem.Han
 	}
 	hz := h.hazard(tid, index)
 	v := src.Load()
-	for {
+	for steps := uint64(1); ; steps++ {
 		hz.Store(pack.Handle(v))
 		again := src.Load()
 		if again == v {
+			h.rt.RecordSteps(tid, steps)
 			return v
 		}
 		v = again
@@ -92,15 +101,11 @@ func (h *HP) Alloc(tid int) mem.Handle {
 	return h.arena.Alloc(tid)
 }
 
-// Retire adds the block to the thread's retire list and periodically scans.
+// Retire hands the block to the shared retire-side runtime, which scans
+// every CleanupFreq retirements through this package's Judge.
 func (h *HP) Retire(tid int, blk mem.Handle) {
 	h.arena.SetRetireEra(blk, 0)
-	t := &h.threads[tid]
-	t.retired.Append(blk)
-	if t.retireCount%uint64(h.cfg.CleanupFreq) == 0 {
-		h.cleanup(tid)
-	}
-	t.retireCount++
+	h.rt.Retire(tid, blk)
 }
 
 // Clear resets the hazard slots used since the previous Clear.
@@ -115,39 +120,24 @@ func (h *HP) Clear(tid int) {
 	t.dirty = 0
 }
 
-// cleanup is Michael's scan: snapshot all hazards into a sorted slice, then
-// free every retired block not present in it.
-func (h *HP) cleanup(tid int) {
-	t := &h.threads[tid]
-	protected := t.scratch[:0]
+// Gather implements reclaim.Judge: snapshot every published hazard —
+// the first half of Michael's scan.
+func (h *HP) Gather(tid int, s *reclaim.Snapshot) {
 	for i := 0; i < h.cfg.MaxThreads; i++ {
 		for j := 0; j < h.cfg.MaxHEs; j++ {
 			if v := h.hazard(i, j).Load(); v != 0 {
-				protected = append(protected, v)
+				s.AddEra(v)
 			}
 		}
 	}
-	t.scratch = protected
-	sort.Slice(protected, func(a, b int) bool { return protected[a] < protected[b] })
+}
 
-	blocks := t.retired.Blocks
-	keep := blocks[:0]
-	for _, blk := range blocks {
-		i := sort.Search(len(protected), func(k int) bool { return protected[k] >= blk })
-		if i < len(protected) && protected[i] == blk {
-			keep = append(keep, blk)
-		} else {
-			h.arena.Free(tid, blk)
-		}
-	}
-	t.retired.SetBlocks(keep)
+// CanFree implements reclaim.Judge: a retired block is free exactly when
+// its handle is not among the gathered hazards (identity membership, not a
+// lifespan test — HP tracks what is pointed at, not when).
+func (h *HP) CanFree(tid int, s *reclaim.Snapshot, blk mem.Handle) bool {
+	return !s.HandleReserved(blk)
 }
 
 // Unreclaimed implements reclaim.Scheme.
-func (h *HP) Unreclaimed() int {
-	total := 0
-	for i := range h.threads {
-		total += h.threads[i].retired.Len()
-	}
-	return total
-}
+func (h *HP) Unreclaimed() int { return h.rt.Unreclaimed() }

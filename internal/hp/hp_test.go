@@ -77,7 +77,7 @@ func TestScanFreesOnlyUnprotected(t *testing.T) {
 	h.Retire(0, protected) // first retire triggers a scan
 	h.Retire(0, loose)
 	h.Retire(0, h.Alloc(0)) // scan again
-	h.cleanup(0)
+	h.rt.Scan(0)
 
 	if !a.Live(protected) {
 		t.Fatal("protected block freed")
@@ -87,15 +87,15 @@ func TestScanFreesOnlyUnprotected(t *testing.T) {
 	}
 
 	h.Clear(1)
-	h.cleanup(0)
+	h.rt.Scan(0)
 	if a.Live(protected) {
 		t.Fatal("block survived after hazard cleared")
 	}
 }
 
 func TestUnreclaimedCountsRetireLists(t *testing.T) {
-	h, _ := newHP(t, 1)
-	h.cfg.CleanupFreq = 1 << 30
+	a := mem.New(mem.Config{Capacity: 1 << 12, MaxThreads: 1, Debug: true})
+	h := New(a, reclaim.Config{MaxThreads: 1, CleanupFreq: 1 << 30})
 	h.Retire(0, h.Alloc(0)) // first retire scans (and frees)
 	for i := 0; i < 5; i++ {
 		h.Retire(0, h.Alloc(0))

@@ -13,12 +13,15 @@
 // "2GEIBR" series of the evaluation figures (§5); the remark that "our
 // approach is applicable to the 2GEIBR version" is implemented in
 // internal/wfeibr.
+//
+// The retire side lives in the shared reclaim.Retirer; this package
+// contributes the era clock, the interval matrix, and its interval Judge
+// (Gather the open intervals, CanFree every block whose lifespan overlaps
+// none). The retire-driven era advance rides the runtime's OnRetire hook.
 package ibr
 
 import (
-	"slices"
 	"sync/atomic"
-	"time"
 
 	"wfe/internal/mem"
 	"wfe/internal/pack"
@@ -26,18 +29,7 @@ import (
 )
 
 type threadState struct {
-	allocCount  uint64
-	retireCount uint64
-	retired     reclaim.RetireList
-	// los/his are the reusable gathered-interval buffers: endpoint i of
-	// each belongs to the same reservation until the sorted scan sorts
-	// them independently.
-	los []uint64
-	his []uint64
-	// Cleanup-scan telemetry (owner-written; read quiescently).
-	scanScans  uint64
-	scanBlocks uint64
-	scanNanos  uint64
+	allocCount uint64
 	_          [64]byte
 }
 
@@ -52,12 +44,15 @@ type interval struct {
 type IBR struct {
 	arena     *mem.Arena
 	cfg       reclaim.Config
+	rt        *reclaim.Retirer
 	globalEra atomic.Uint64
 	intervals []interval
 	threads   []threadState
 }
 
 var _ reclaim.Scheme = (*IBR)(nil)
+var _ reclaim.Judge = (*IBR)(nil)
+var _ reclaim.RetireObserver = (*IBR)(nil)
 
 // New creates a 2GEIBR scheme over the given arena.
 func New(arena *mem.Arena, cfg reclaim.Config) *IBR {
@@ -68,6 +63,7 @@ func New(arena *mem.Arena, cfg reclaim.Config) *IBR {
 		intervals: make([]interval, cfg.MaxThreads),
 		threads:   make([]threadState, cfg.MaxThreads),
 	}
+	ib.rt = reclaim.NewRetirer(arena, cfg, ib)
 	ib.globalEra.Store(1)
 	for i := range ib.intervals {
 		ib.intervals[i].lower.Store(pack.Inf)
@@ -82,6 +78,9 @@ func (ib *IBR) Name() string { return "2GEIBR" }
 // Arena implements reclaim.Scheme.
 func (ib *IBR) Arena() *mem.Arena { return ib.arena }
 
+// Retirer implements reclaim.Scheme.
+func (ib *IBR) Retirer() *reclaim.Retirer { return ib.rt }
+
 // Era returns the current global era clock value.
 func (ib *IBR) Era() uint64 { return ib.globalEra.Load() }
 
@@ -94,14 +93,17 @@ func (ib *IBR) Begin(tid int) {
 }
 
 // GetProtected stretches the thread's upper reservation until the global
-// era stabilises across a read of src.
+// era stabilises across a read of src. Each call's iteration count feeds
+// the shared step histogram — the same lock-free unboundedness as Hazard
+// Eras', observable.
 func (ib *IBR) GetProtected(tid int, src *atomic.Uint64, index int, parent mem.Handle) uint64 {
 	iv := &ib.intervals[tid]
 	prev := iv.upper.Load()
-	for {
+	for steps := uint64(1); ; steps++ {
 		ret := src.Load()
 		cur := ib.globalEra.Load()
 		if prev == cur {
+			ib.rt.RecordSteps(tid, steps)
 			return ret
 		}
 		iv.upper.Store(cur)
@@ -128,20 +130,20 @@ func (ib *IBR) Alloc(tid int) mem.Handle {
 	return blk
 }
 
-// Retire stamps the retire era and periodically scans the retire list. The
-// era also advances on retirement (not just allocation) so that
-// retire-heavy phases with no allocations still make reclamation progress.
+// Retire stamps the retire era and hands the block to the shared
+// retire-side runtime.
 func (ib *IBR) Retire(tid int, blk mem.Handle) {
 	ib.arena.SetRetireEra(blk, ib.globalEra.Load())
-	t := &ib.threads[tid]
-	t.retired.Append(blk)
-	if t.retireCount%uint64(ib.cfg.EraFreq) == 0 {
+	ib.rt.Retire(tid, blk)
+}
+
+// OnRetire implements reclaim.RetireObserver: the era also advances on
+// retirement (not just allocation) so that retire-heavy phases with no
+// allocations still make reclamation progress.
+func (ib *IBR) OnRetire(tid int, n uint64, blk mem.Handle) {
+	if n%uint64(ib.cfg.EraFreq) == 0 {
 		ib.advanceEra()
 	}
-	if t.retireCount%uint64(ib.cfg.CleanupFreq) == 0 {
-		ib.cleanup(tid)
-	}
-	t.retireCount++
 }
 
 // advanceEra bumps the clock, guarding the 38-bit packing bound.
@@ -151,50 +153,26 @@ func (ib *IBR) advanceEra() {
 	}
 }
 
-// cleanup gathers the active reservation intervals once and frees every
-// retired block whose lifespan overlaps none of them (conservative in the
-// same way as the per-block re-scan; see the HE cleanup comment). The
-// gathered endpoints are sorted once and binary-searched per block —
-// O((R+G)·log G) instead of O(R×G) — unless LinearScan pins the
-// reference oracle.
-func (ib *IBR) cleanup(tid int) {
-	t := &ib.threads[tid]
-	blocks := t.retired.Blocks
-	if len(blocks) == 0 {
-		return
-	}
-	start := time.Now()
-	los, his := t.los[:0], t.his[:0]
+// Gather implements reclaim.Judge: snapshot the open reservation intervals
+// once per scan (conservative in the same way as the per-block re-scan;
+// see the HE gather comment).
+func (ib *IBR) Gather(tid int, s *reclaim.Snapshot) {
 	for i := 0; i < ib.cfg.MaxThreads; i++ {
 		iv := &ib.intervals[i]
 		lower := iv.lower.Load()
 		if lower == pack.Inf {
 			continue
 		}
-		los = append(los, lower)
-		his = append(his, iv.upper.Load())
+		s.AddInterval(lower, iv.upper.Load())
 	}
-	t.los, t.his = los, his
-	// Below the cutoff the paired linear sweep beats sort+search; the two
-	// tests decide identically (property-tested).
-	linear := ib.cfg.LinearScan || len(los) < reclaim.SortCutoff
-	if !linear {
-		slices.Sort(los)
-		slices.Sort(his)
-	}
+}
 
-	keep := blocks[:0]
-	for _, blk := range blocks {
-		if ib.canDelete(blk, los, his, linear) {
-			ib.arena.Free(tid, blk)
-		} else {
-			keep = append(keep, blk)
-		}
-	}
-	t.retired.SetBlocks(keep)
-	t.scanScans++
-	t.scanBlocks += uint64(len(blocks))
-	t.scanNanos += uint64(time.Since(start))
+// CanFree implements reclaim.Judge via canDelete, which retains the
+// pre-overhaul paired linear sweep as the property-tested reference
+// oracle.
+func (ib *IBR) CanFree(tid int, s *reclaim.Snapshot, blk mem.Handle) bool {
+	los, his := s.Intervals()
+	return ib.canDelete(blk, los, his, s.Linear())
 }
 
 // canDelete reports whether the block's [birth, retire] lifespan overlaps
@@ -222,23 +200,5 @@ func intervalReservedLinear(los, his []uint64, birth, retire uint64) bool {
 	return false
 }
 
-// CleanupStats reports how many cleanup scans ran, how many retired
-// blocks they examined, and the nanoseconds they spent. Call quiescently.
-func (ib *IBR) CleanupStats() (scans, blocks, nanos uint64) {
-	for i := range ib.threads {
-		t := &ib.threads[i]
-		scans += t.scanScans
-		blocks += t.scanBlocks
-		nanos += t.scanNanos
-	}
-	return
-}
-
 // Unreclaimed implements reclaim.Scheme.
-func (ib *IBR) Unreclaimed() int {
-	total := 0
-	for i := range ib.threads {
-		total += ib.threads[i].retired.Len()
-	}
-	return total
-}
+func (ib *IBR) Unreclaimed() int { return ib.rt.Unreclaimed() }

@@ -1,6 +1,11 @@
 // Package leak is the paper's "Leak Memory" baseline: Retire drops blocks on
 // the floor. It bounds the cost every real scheme pays, and its arena usage
 // grows with the number of retirements — size the arena accordingly.
+//
+// The baseline still retires through the shared reclaim.Retirer — in its
+// judge-less mode, which counts retirements without storing blocks or
+// running scans — so the Unreclaimed metric reads through the same path as
+// every real scheme's.
 package leak
 
 import (
@@ -12,22 +17,15 @@ import (
 
 // Leak is the no-reclamation baseline.
 type Leak struct {
-	arena   *mem.Arena
-	leaked  atomic.Int64
-	retires []retireCounter
-}
-
-type retireCounter struct {
-	n uint64
-	_ [56]byte
+	arena *mem.Arena
+	rt    *reclaim.Retirer
 }
 
 var _ reclaim.Scheme = (*Leak)(nil)
 
 // New creates the leaking baseline over the given arena.
 func New(arena *mem.Arena, cfg reclaim.Config) *Leak {
-	cfg = cfg.Defaults()
-	return &Leak{arena: arena, retires: make([]retireCounter, cfg.MaxThreads)}
+	return &Leak{arena: arena, rt: reclaim.NewRetirer(arena, cfg, nil)}
 }
 
 // Name implements reclaim.Scheme.
@@ -39,6 +37,9 @@ func (l *Leak) Begin(tid int) {}
 // Arena implements reclaim.Scheme.
 func (l *Leak) Arena() *mem.Arena { return l.arena }
 
+// Retirer implements reclaim.Scheme.
+func (l *Leak) Retirer() *reclaim.Retirer { return l.rt }
+
 // GetProtected is a plain load: leaked blocks are never reused, so any
 // handle ever observed stays valid.
 func (l *Leak) GetProtected(tid int, src *atomic.Uint64, index int, parent mem.Handle) uint64 {
@@ -48,8 +49,7 @@ func (l *Leak) GetProtected(tid int, src *atomic.Uint64, index int, parent mem.H
 // Retire leaks the block.
 func (l *Leak) Retire(tid int, blk mem.Handle) {
 	l.arena.SetRetireEra(blk, 0)
-	l.retires[tid].n++
-	l.leaked.Add(1)
+	l.rt.Retire(tid, blk)
 }
 
 // Clear implements reclaim.Scheme.
@@ -62,6 +62,4 @@ func (l *Leak) Alloc(tid int) mem.Handle {
 
 // Unreclaimed reports the total number of leaked blocks. The paper excludes
 // the leak baseline from unreclaimed-object plots; the harness does too.
-func (l *Leak) Unreclaimed() int {
-	return int(l.leaked.Load())
-}
+func (l *Leak) Unreclaimed() int { return l.rt.Unreclaimed() }

@@ -1,0 +1,123 @@
+package reclaim
+
+import (
+	"slices"
+	"sync"
+	"time"
+)
+
+// DefaultSortCutoff is the linear/sorted crossover fallback: the
+// gathered-reservation count below which the per-block linear sweep beat
+// sort-once-plus-binary-search on the original development host (measured
+// by cmd/wfebench -ablation scan). Calibrate measures the actual crossover
+// per host; this constant sits mid-range among its probe sizes and is the
+// answer when the measurement is degenerate (a clock too coarse to
+// separate the two arms).
+const DefaultSortCutoff = 32
+
+var (
+	calibrateOnce   sync.Once
+	calibratedValue int
+
+	// calibrateSink absorbs the probe loops' results so their work is
+	// externally observable and cannot be optimized away.
+	calibrateSink uint64
+)
+
+// Calibrate measures this host's linear/sorted cleanup crossover once per
+// process and returns the gathered-reservation count at which a scan
+// should start sorting its snapshot. NewRetirer consults it whenever
+// Config.SortCutoff is zero, so every Domain picks the cutoff for the
+// hardware it actually runs on instead of inheriting the constant of the
+// machine the ablation was first run on.
+//
+// The measurement is a coarse one-shot estimate (a few hundred
+// microseconds): for growing snapshot sizes G it times judging a fixed
+// retired batch by the linear sweep against sort-once-plus-binary-search,
+// and reports the first G where sorting wins. The two tests are
+// property-tested equivalent (TestSortedScanMatchesLinearOracle), so
+// whatever value noise produces is purely a cost choice, never a
+// correctness one. Override it deterministically via Config.SortCutoff.
+func Calibrate() int {
+	calibrateOnce.Do(func() { calibratedValue = calibrate() })
+	return calibratedValue
+}
+
+// calibrateSizes are the probed snapshot sizes, bracketing
+// DefaultSortCutoff on both sides.
+var calibrateSizes = [...]int{8, 16, 24, 32, 48, 64, 96, 128}
+
+func calibrate() int {
+	const (
+		blocks = 64 // retired blocks judged per scan (a CleanupFreq-scale backlog)
+		reps   = 16 // scans per timed arm, to rise above timer granularity
+	)
+	// Deterministic pseudo-random eras and lifespans (xorshift64) so both
+	// arms judge identical data; publishing the sink on every exit path
+	// keeps the timed loops' work observable (dead-code elimination would
+	// zero both arms and collapse the cutoff to the first probe size).
+	rng := uint64(0x9E3779B97F4A7C15)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	var sink uint64
+	defer func() { calibrateSink += sink }()
+
+	eras := make([]uint64, 0, calibrateSizes[len(calibrateSizes)-1])
+	sorted := make([]uint64, 0, cap(eras))
+	los := make([]uint64, blocks)
+	his := make([]uint64, blocks)
+
+	for _, g := range calibrateSizes {
+		eras = eras[:0]
+		for i := 0; i < g; i++ {
+			eras = append(eras, next()%1024)
+		}
+		for i := range los {
+			los[i] = next() % 1024
+			his[i] = los[i] + next()%16
+		}
+
+		linStart := time.Now()
+		for rep := 0; rep < reps; rep++ {
+			for b := 0; b < blocks; b++ {
+				for _, e := range eras {
+					if los[b] <= e && his[b] >= e {
+						sink++
+						break
+					}
+				}
+			}
+		}
+		lin := time.Since(linStart)
+
+		srtStart := time.Now()
+		for rep := 0; rep < reps; rep++ {
+			// Each real scan re-gathers and re-sorts its snapshot, so the
+			// sort is inside the timed region.
+			sorted = append(sorted[:0], eras...)
+			slices.Sort(sorted)
+			for b := 0; b < blocks; b++ {
+				if ReservedInRange(sorted, los[b], his[b]) {
+					sink++
+				}
+			}
+		}
+		srt := time.Since(srtStart)
+
+		if lin == 0 || srt == 0 {
+			// The clock cannot separate the arms at all on this host;
+			// measuring more would only amplify noise.
+			return DefaultSortCutoff
+		}
+		if srt <= lin {
+			return max(g, 2) // a cutoff of g keeps linear strictly below g
+		}
+	}
+	// Linear won at every probed size: place the cutoff just past the
+	// probe range rather than extrapolating further.
+	return calibrateSizes[len(calibrateSizes)-1] * 2
+}

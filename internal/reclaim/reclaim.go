@@ -53,6 +53,11 @@ type Scheme interface {
 
 	// Arena exposes the underlying block arena.
 	Arena() *mem.Arena
+
+	// Retirer exposes the scheme's shared retire-side runtime — the one
+	// path through which the Domain and harness layers read the uniform
+	// retire/cleanup/step telemetry every scheme now reports.
+	Retirer() *Retirer
 }
 
 // Config carries the tuning parameters shared by the schemes, with the
@@ -79,6 +84,12 @@ type Config struct {
 	// -ablation scan) and as the oracle configuration of the sorted-scan
 	// property tests; production configurations leave it false.
 	LinearScan bool
+	// SortCutoff is the gathered-reservation count below which a cleanup
+	// scan keeps the linear sweep even in sorted-scan mode (sorting a tiny
+	// snapshot costs more than sweeping it). Zero selects the host
+	// crossover Calibrate measures once per process; the two tests are
+	// property-tested equivalent, so the value is purely a cost choice.
+	SortCutoff int
 }
 
 // Defaults fills unset fields with the paper's evaluation parameters.
@@ -119,15 +130,6 @@ func ReservedInRange(sorted []uint64, lo, hi uint64) bool {
 	i := searchGE(sorted, lo)
 	return i < len(sorted) && sorted[i] <= hi
 }
-
-// SortCutoff is the gathered-reservation count below which cleanup keeps
-// the linear per-block sweep even in sorted-scan mode: under ~32 entries
-// the sweep is cheaper than sorting the snapshot and binary-searching it
-// (measured by cmd/wfebench -ablation scan; the interval schemes gather
-// one entry per thread, so small domains sit below this routinely). The
-// two tests are property-tested equivalent, so the cutoff is purely a
-// cost choice.
-const SortCutoff = 32
 
 // searchGE returns the index of the first element ≥ v in the sorted
 // slice (len(sorted) if none). It is sort.Search specialised to a flat
@@ -184,24 +186,37 @@ const StepHistBuckets = 64
 
 // StepHist is an owner-written histogram of per-call GetProtected step
 // counts, the distribution behind the paper's bounded-steps claim (the
-// MaxSteps worst case is its tail, the BENCH_*.json p99 its body). Each
-// thread records into its own padded copy with no synchronisation; merge
-// and query only quiescently, the same discipline as the schemes'
-// MaxSteps counters.
-type StepHist struct{ buckets [StepHistBuckets]uint64 }
+// Max worst case is its tail, the BENCH_*.json p99 its body). Each thread
+// records into its own padded copy with no synchronisation; merge and
+// query only quiescently.
+type StepHist struct {
+	buckets [StepHistBuckets]uint64
+	// max is the exact worst step count recorded, which the clamped top
+	// bucket cannot preserve.
+	max uint64
+}
 
 // Record counts one GetProtected call that took steps iterations.
 func (h *StepHist) Record(steps uint64) {
+	if steps > h.max {
+		h.max = steps
+	}
 	if steps >= StepHistBuckets {
 		steps = StepHistBuckets - 1
 	}
 	h.buckets[steps]++
 }
 
+// Max returns the worst step count recorded (0 when nothing was).
+func (h *StepHist) Max() uint64 { return h.max }
+
 // Merge accumulates other's counts into h.
 func (h *StepHist) Merge(other *StepHist) {
 	for i, v := range other.buckets {
 		h.buckets[i] += v
+	}
+	if other.max > h.max {
+		h.max = other.max
 	}
 }
 
@@ -230,31 +245,3 @@ func (h *StepHist) Quantile(q float64) uint64 {
 	}
 	return StepHistBuckets - 1
 }
-
-// RetireList is the per-thread list of retired blocks shared by the
-// scheme implementations. Only the owning thread mutates it; the published
-// length feeds the Unreclaimed metric.
-type RetireList struct {
-	Blocks []mem.Handle
-	length atomic.Int64
-}
-
-// Append adds a retired block. Single-writer contract: only the goroutine
-// owning the list's tid may call it — Blocks is mutated without
-// synchronisation, and only the length is published for cross-thread
-// readers (Len).
-func (r *RetireList) Append(h mem.Handle) {
-	r.Blocks = append(r.Blocks, h)
-	r.length.Store(int64(len(r.Blocks)))
-}
-
-// SetBlocks replaces the block list after a cleanup scan. Like Append it is
-// single-writer: only the owning thread may call it, concurrently with any
-// number of Len calls but never with another Append/SetBlocks.
-func (r *RetireList) SetBlocks(b []mem.Handle) {
-	r.Blocks = b
-	r.length.Store(int64(len(b)))
-}
-
-// Len returns the published length; safe to call from any thread.
-func (r *RetireList) Len() int { return int(r.length.Load()) }

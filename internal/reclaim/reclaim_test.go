@@ -77,19 +77,20 @@ func TestStepHistQuantile(t *testing.T) {
 	}
 }
 
-func TestRetireList(t *testing.T) {
-	var rl RetireList
-	if rl.Len() != 0 {
-		t.Fatal("fresh list not empty")
+func TestStepHistMax(t *testing.T) {
+	var h StepHist
+	if h.Max() != 0 {
+		t.Fatal("empty histogram must report Max 0")
 	}
-	rl.Append(1)
-	rl.Append(2)
-	rl.Append(3)
-	if rl.Len() != 3 || len(rl.Blocks) != 3 {
-		t.Fatalf("Len = %d", rl.Len())
+	h.Record(3)
+	h.Record(1 << 40) // far past the bucket width: Max stays exact
+	if h.Max() != 1<<40 {
+		t.Fatalf("Max = %d, want %d", h.Max(), uint64(1)<<40)
 	}
-	rl.SetBlocks(rl.Blocks[:1])
-	if rl.Len() != 1 {
-		t.Fatalf("Len after SetBlocks = %d", rl.Len())
+	var m StepHist
+	m.Record(7)
+	m.Merge(&h)
+	if m.Max() != 1<<40 {
+		t.Fatalf("merged Max = %d, want %d", m.Max(), uint64(1)<<40)
 	}
 }

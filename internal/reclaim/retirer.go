@@ -1,0 +1,413 @@
+// The shared retire-side runtime. The paper's schemes differ only in how
+// they decide a retired block is safe to free — eras, intervals, hazard
+// identities, epoch distance — while the plumbing around that decision is
+// scheme-independent: a per-thread retire list, a CleanupFreq-gated scan
+// cadence, scan telemetry, and the protect-loop step histograms behind the
+// bounded-steps comparison. Retirer owns all of that once; each scheme
+// package shrinks to its era/pointer/epoch logic plus a Judge.
+
+package reclaim
+
+import (
+	"slices"
+	"sync/atomic"
+	"time"
+
+	"wfe/internal/mem"
+)
+
+// A Judge is the scheme-specific half of a cleanup scan. The runtime calls
+// Gather exactly once per scan phase to snapshot whatever reservation state
+// could protect retired blocks, then CanFree once per retired block against
+// that snapshot. Both run on the retiring thread; Gather must tolerate
+// concurrent reservation movement (snapshots may only over-approximate —
+// every scheme's conservativeness argument relies on gathered state being
+// honoured even if it was cleared mid-scan).
+type Judge interface {
+	// Gather snapshots the reservations into s (s arrives reset; append
+	// with AddEra/AddInterval or stash per-scan scalars with SetAux).
+	Gather(tid int, s *Snapshot)
+	// CanFree reports whether blk, already unlinked and retired, is
+	// unprotected by the gathered snapshot and may be recycled.
+	CanFree(tid int, s *Snapshot, blk mem.Handle) bool
+}
+
+// A PreScanner is a Judge with era bookkeeping tied to the scan cadence:
+// PreScan runs immediately before each gated cleanup scan with the block
+// whose retirement triggered it. HE and WFE apply the paper's retire-race
+// era advance here; EBR attempts its epoch advance.
+type PreScanner interface {
+	PreScan(tid int, blk mem.Handle)
+}
+
+// A RetireObserver is a Judge whose era clock ticks on retirement: OnRetire
+// runs on every retirement after blk joins the retire list and before any
+// gated scan, with n the thread's 0-based retirement ordinal. The interval
+// schemes gate their retire-driven era advance on n here, so retire-only
+// phases still make reclamation progress.
+type RetireObserver interface {
+	OnRetire(tid int, n uint64, blk mem.Handle)
+}
+
+// A TwoPhase is a Judge whose first-phase verdicts are only provisional
+// while helping is in flight (WFE, paper Figure 4 lines 57-67): blocks the
+// first snapshot clears are re-judged against a second snapshot before
+// being freed. NeedSecond is consulted once per scan, after Gather;
+// GatherSecond snapshots the second phase's reservation classes.
+type TwoPhase interface {
+	Judge
+	NeedSecond(tid int, s *Snapshot) bool
+	GatherSecond(tid int, s *Snapshot)
+}
+
+// ScanStats is the cleanup-scan telemetry a Retirer accumulates per thread:
+// how many scans ran, how many retired blocks they examined, and the
+// nanoseconds they spent. Sample quiescently (the counters are
+// owner-written).
+type ScanStats struct {
+	Scans  uint64
+	Blocks uint64
+	Nanos  uint64
+}
+
+// retireThread is one thread's retire-side state. Only the owning tid
+// mutates it; the ring's published length and nothing else is read
+// cross-thread.
+type retireThread struct {
+	ring  ring
+	count uint64 // retirements; gates the scan cadence
+	hist  StepHist
+	stats ScanStats
+	// Reusable scan scratch: the two phase snapshots and the candidate
+	// list blocks cleared by phase one await phase two on.
+	snap      Snapshot
+	snap2     Snapshot
+	survivors []mem.Handle
+	_         [64]byte
+}
+
+// Retirer is the shared retire-side runtime: per-thread retire rings with
+// batched drain scans, the CleanupFreq gating, scan timing and step
+// histograms — parameterized by a per-scheme Judge. One Retirer serves all
+// of a scheme's threads; every per-tid method follows the package's
+// one-goroutine-per-tid contract.
+type Retirer struct {
+	arena *mem.Arena
+	judge Judge
+	two   TwoPhase       // judge, if it re-checks survivors (WFE)
+	pre   PreScanner     // judge, if it hooks the scan cadence
+	obs   RetireObserver // judge, if its clock ticks on retirement
+
+	cleanupFreq uint64
+	linearScan  bool
+	cutoff      int
+
+	threads []retireThread
+}
+
+// NewRetirer creates the runtime over arena for cfg.MaxThreads threads.
+// A nil judge selects the no-reclamation mode (the leak baseline): Retire
+// only counts, no blocks are stored and no scans run.
+func NewRetirer(arena *mem.Arena, cfg Config, judge Judge) *Retirer {
+	cfg = cfg.Defaults()
+	r := &Retirer{
+		arena:       arena,
+		judge:       judge,
+		cleanupFreq: uint64(cfg.CleanupFreq),
+		linearScan:  cfg.LinearScan,
+		cutoff:      cfg.SortCutoff,
+		threads:     make([]retireThread, cfg.MaxThreads),
+	}
+	if r.cutoff == 0 {
+		r.cutoff = Calibrate()
+	}
+	if judge != nil {
+		r.two, _ = judge.(TwoPhase)
+		r.pre, _ = judge.(PreScanner)
+		r.obs, _ = judge.(RetireObserver)
+	}
+	return r
+}
+
+// Cutoff returns the gathered-reservation count below which this Retirer's
+// scans keep the linear sweep: Config.SortCutoff if set, the calibrated
+// host crossover otherwise.
+func (r *Retirer) Cutoff() int { return r.cutoff }
+
+// Retire appends blk to tid's retire ring and runs the scheme's cadence
+// hooks: OnRetire on every retirement, then — every CleanupFreq
+// retirements — PreScan followed by a cleanup scan. The very first
+// retirement of a tid is on the cadence (count 0), matching the paper's
+// retire() which scans when the counter is a CleanupFreq multiple.
+func (r *Retirer) Retire(tid int, blk mem.Handle) {
+	t := &r.threads[tid]
+	if r.judge == nil {
+		t.count++
+		t.ring.published.Add(1) // leaked, by design; nothing is stored
+		return
+	}
+	t.ring.push(blk)
+	t.ring.publish()
+	n := t.count
+	if r.obs != nil {
+		r.obs.OnRetire(tid, n, blk)
+	}
+	if n%r.cleanupFreq == 0 {
+		if r.pre != nil {
+			r.pre.PreScan(tid, blk)
+		}
+		r.Scan(tid)
+	}
+	t.count++
+}
+
+// Add appends blk to tid's retire ring without the cadence bookkeeping: no
+// hooks run, no scan is gated, and the retirement count is untouched. It
+// exists for harnesses that stage a retire list and drive Scan explicitly;
+// the production path is Retire.
+func (r *Retirer) Add(tid int, blk mem.Handle) {
+	t := &r.threads[tid]
+	t.ring.push(blk)
+	t.ring.publish()
+}
+
+// Scan drains tid's retire ring through the Judge once: the snapshot is
+// gathered, sealed (sorted above the cutoff, unless Config.LinearScan pins
+// the reference oracle), and every retired block judged against it —
+// freed if clear, re-queued on the ring otherwise. A TwoPhase judge's
+// cleared blocks instead await a second gather/judge pass. Outside the
+// retire cadence it is the settling primitive: call it on a quiescent tid
+// to collapse the backlog.
+func (r *Retirer) Scan(tid int) {
+	if r.judge == nil {
+		return
+	}
+	t := &r.threads[tid]
+	n := t.ring.len()
+	if n == 0 {
+		return
+	}
+	start := time.Now()
+
+	s := &t.snap
+	s.reset()
+	r.judge.Gather(tid, s)
+	s.seal(r.linearScan, r.cutoff)
+	second := r.two != nil && r.two.NeedSecond(tid, s)
+
+	survivors := t.survivors[:0]
+	for i := 0; i < n; i++ {
+		blk := t.ring.pop()
+		switch {
+		case !r.judge.CanFree(tid, s, blk):
+			t.ring.push(blk)
+		case second:
+			survivors = append(survivors, blk)
+		default:
+			r.arena.Free(tid, blk)
+		}
+	}
+	if second {
+		s2 := &t.snap2
+		s2.reset()
+		r.two.GatherSecond(tid, s2)
+		s2.seal(r.linearScan, r.cutoff)
+		for _, blk := range survivors {
+			if r.two.CanFree(tid, s2, blk) {
+				r.arena.Free(tid, blk)
+			} else {
+				t.ring.push(blk)
+			}
+		}
+	}
+	t.survivors = survivors[:0]
+	t.ring.publish()
+	t.stats.Scans++
+	t.stats.Blocks += uint64(n)
+	t.stats.Nanos += uint64(time.Since(start))
+}
+
+// Unreclaimed reports the retired-but-not-yet-freed block count across all
+// threads, the paper's reclamation-speed metric. Approximate under
+// concurrency (each ring's length is published, not fenced).
+func (r *Retirer) Unreclaimed() int {
+	total := int64(0)
+	for i := range r.threads {
+		total += r.threads[i].ring.published.Load()
+	}
+	return int(total)
+}
+
+// RecordSteps counts one GetProtected call by tid that took steps loop
+// iterations — the per-scheme protect loops feed the bounded-steps
+// histograms through here. Owner-thread only.
+func (r *Retirer) RecordSteps(tid int, steps uint64) {
+	r.threads[tid].hist.Record(steps)
+}
+
+// MaxSteps reports the worst protect-loop iteration count any single
+// GetProtected call needed, across all threads. Sample quiescently.
+func (r *Retirer) MaxSteps() uint64 {
+	var max uint64
+	for i := range r.threads {
+		if m := r.threads[i].hist.Max(); m > max {
+			max = m
+		}
+	}
+	return max
+}
+
+// StepQuantile returns the q-quantile of per-call GetProtected step counts
+// across all threads (StepQuantile(0.99) is the BENCH artifact's p99).
+// Sample quiescently: the histograms are owner-written.
+func (r *Retirer) StepQuantile(q float64) uint64 {
+	var sum StepHist
+	for i := range r.threads {
+		sum.Merge(&r.threads[i].hist)
+	}
+	return sum.Quantile(q)
+}
+
+// Stats sums the per-thread cleanup-scan telemetry. Sample quiescently.
+func (r *Retirer) Stats() ScanStats {
+	var s ScanStats
+	for i := range r.threads {
+		t := &r.threads[i]
+		s.Scans += t.stats.Scans
+		s.Blocks += t.stats.Blocks
+		s.Nanos += t.stats.Nanos
+	}
+	return s
+}
+
+// ring is a single-writer circular retire list: the owning tid pushes
+// retired handles at the tail and the scan drains from the head, re-pushing
+// survivors — steady-state churn reuses one power-of-two buffer with no
+// per-scan compaction or reallocation. Only the published length is read
+// cross-thread.
+type ring struct {
+	buf       []mem.Handle
+	head      uint64 // next pop position (monotonic; masked on access)
+	tail      uint64 // next push position
+	published atomic.Int64
+}
+
+const minRingCap = 64
+
+func (q *ring) len() int { return int(q.tail - q.head) }
+
+func (q *ring) push(h mem.Handle) {
+	if int(q.tail-q.head) == len(q.buf) {
+		q.grow()
+	}
+	q.buf[q.tail&uint64(len(q.buf)-1)] = h
+	q.tail++
+}
+
+func (q *ring) pop() mem.Handle {
+	h := q.buf[q.head&uint64(len(q.buf)-1)]
+	q.head++
+	return h
+}
+
+// publish stores the current length for cross-thread readers (Unreclaimed).
+func (q *ring) publish() { q.published.Store(int64(q.tail - q.head)) }
+
+// grow doubles the buffer (from minRingCap), linearizing head to index 0 so
+// the power-of-two masking stays valid.
+func (q *ring) grow() {
+	n := max(len(q.buf)*2, minRingCap)
+	nb := make([]mem.Handle, n)
+	cnt := int(q.tail - q.head)
+	for i := 0; i < cnt; i++ {
+		nb[i] = q.buf[(q.head+uint64(i))&uint64(len(q.buf)-1)]
+	}
+	q.buf, q.head, q.tail = nb, 0, uint64(cnt)
+}
+
+// Snapshot is the reservation snapshot one cleanup scan gathers and judges
+// against. The Retirer owns and reuses the buffers; a Judge appends eras or
+// intervals during Gather and queries membership during CanFree. After the
+// gather the runtime seals the snapshot: above the sort cutoff the
+// endpoint slices are sorted once (after the gather, preserving any
+// lemma-mandated read order) and membership binary-searches them; below it
+// — or whenever Config.LinearScan pins the reference oracle — membership
+// keeps the linear sweep.
+type Snapshot struct {
+	los, his []uint64
+	aux      [2]uint64
+	paired   bool
+	linear   bool
+}
+
+func (s *Snapshot) reset() {
+	s.los = s.los[:0]
+	s.his = s.his[:0]
+	s.aux = [2]uint64{}
+	s.paired = false
+	s.linear = false
+}
+
+// seal fixes the scan mode and sorts the gathered endpoints if binary
+// search will be used.
+func (s *Snapshot) seal(forceLinear bool, cutoff int) {
+	s.linear = forceLinear || len(s.los) < cutoff
+	if !s.linear {
+		slices.Sort(s.los)
+		if s.paired {
+			slices.Sort(s.his)
+		}
+	}
+}
+
+// AddEra appends a point reservation (an era, an epoch, or a raw handle
+// for identity schemes).
+func (s *Snapshot) AddEra(e uint64) { s.los = append(s.los, e) }
+
+// AddInterval appends an interval reservation [lo, hi]. The pairing by
+// index survives until seal sorts the endpoint slices independently (the
+// counting membership test never needs it back).
+func (s *Snapshot) AddInterval(lo, hi uint64) {
+	s.los = append(s.los, lo)
+	s.his = append(s.his, hi)
+	s.paired = true
+}
+
+// SetAux stashes a per-scan scalar (i in 0..1): EBR keeps the scan's epoch
+// here, WFE its helping-in-flight flag.
+func (s *Snapshot) SetAux(i int, v uint64) { s.aux[i] = v }
+
+// Aux reads a per-scan scalar stored by SetAux.
+func (s *Snapshot) Aux(i int) uint64 { return s.aux[i] }
+
+// Linear reports whether this scan judges by the linear reference sweep
+// (below the cutoff, or pinned by Config.LinearScan).
+func (s *Snapshot) Linear() bool { return s.linear }
+
+// Eras returns the gathered point reservations — sorted iff !Linear().
+func (s *Snapshot) Eras() []uint64 { return s.los }
+
+// Intervals returns the gathered interval endpoints — each slice sorted
+// independently iff !Linear().
+func (s *Snapshot) Intervals() (los, his []uint64) { return s.los, s.his }
+
+// EraReserved reports whether any gathered point reservation lands in the
+// closed lifespan [lo, hi], by whichever test seal selected.
+func (s *Snapshot) EraReserved(lo, hi uint64) bool {
+	if s.linear {
+		for _, e := range s.los {
+			if lo <= e && hi >= e {
+				return true
+			}
+		}
+		return false
+	}
+	return ReservedInRange(s.los, lo, hi)
+}
+
+// HandleReserved reports whether the exact value h was gathered — the
+// identity membership of Hazard Pointers (a degenerate [h, h] lifespan).
+// The interval schemes have no analogous helper by design: their
+// membership tests live in the scheme packages' canDelete, whose linear
+// arm doubles as the property-tested reference oracle.
+func (s *Snapshot) HandleReserved(h uint64) bool { return s.EraReserved(h, h) }

@@ -137,6 +137,47 @@ func TestProtectionBlocksReclamation(t *testing.T) {
 	}
 }
 
+// TestStepHistogramsAllSchemes pins the uniform bounded-steps telemetry
+// the shared retire-side runtime provides: after a churn with constant
+// era movement, every reclaiming scheme — the era and interval schemes
+// (HE, WFE, 2GEIBR, WFE-IBR) whose protect loops iterate, and HP/EBR
+// alike — must report a nonzero step histogram and cleanup-scan counters
+// through its Retirer. (Before the runtime, WFE-IBR and 2GEIBR had no
+// step tracking at all and their P99Steps read 0.)
+func TestStepHistogramsAllSchemes(t *testing.T) {
+	for _, name := range reclaiming {
+		t.Run(name, func(t *testing.T) {
+			a := newArena(t, 4096, 2)
+			// EraFreq 1 advances the clock on every allocation, so the
+			// era/interval protect loops must take re-publication steps.
+			s := mustNew(t, name, a, reclaim.Config{MaxThreads: 2, CleanupFreq: 4, EraFreq: 1})
+			var root atomic.Uint64
+			root.Store(s.Alloc(1))
+			for i := 0; i < 200; i++ {
+				s.Begin(0)
+				s.GetProtected(0, &root, 0, 0)
+				s.Clear(0)
+				s.Begin(1)
+				old := root.Swap(s.Alloc(1))
+				s.Retire(1, pack.Handle(old))
+				s.Clear(1)
+			}
+			rt := s.Retirer()
+			if rt.MaxSteps() == 0 {
+				t.Fatal("MaxSteps reads 0 after churn")
+			}
+			if p99 := rt.StepQuantile(0.99); p99 == 0 {
+				t.Fatal("P99Steps reads 0 after churn")
+			} else if p99 > rt.MaxSteps() {
+				t.Fatalf("p99 %d exceeds max %d", p99, rt.MaxSteps())
+			}
+			if st := rt.Stats(); st.Scans == 0 || st.Blocks == 0 {
+				t.Fatalf("no cleanup-scan telemetry after churn: %+v", st)
+			}
+		})
+	}
+}
+
 // TestLeakNeverFrees checks the baseline leaks by design.
 func TestLeakNeverFrees(t *testing.T) {
 	a := newArena(t, 256, 1)

@@ -25,12 +25,15 @@
 // only ever conservative, so the reservation needs no tag — the per-cycle
 // tag lives solely in the result word, where it makes request identities
 // unique.
+//
+// The retire side lives in the shared reclaim.Retirer; this package
+// contributes the helping machinery and its interval Judge. The Judge's
+// Gather preserves the scan order the hand-over proof needs: special
+// intervals first, normal intervals second.
 package wfeibr
 
 import (
-	"slices"
 	"sync/atomic"
-	"time"
 
 	"wfe/internal/mem"
 	"wfe/internal/pack"
@@ -54,18 +57,8 @@ type slowSlot struct {
 }
 
 type threadState struct {
-	allocCount  uint64
-	retireCount uint64
-	tag         uint64 // slow-path cycle counter (owner-local)
-	retired     reclaim.RetireList
-	// los/his are the reusable gathered-interval buffers (paired by index
-	// until the sorted scan sorts them independently).
-	los []uint64
-	his []uint64
-	// Cleanup-scan telemetry (owner-written; read quiescently).
-	scanScans  uint64
-	scanBlocks uint64
-	scanNanos  uint64
+	allocCount uint64
+	tag        uint64 // slow-path cycle counter (owner-local)
 	_          [64]byte
 }
 
@@ -73,6 +66,7 @@ type threadState struct {
 type WFEIBR struct {
 	arena        *mem.Arena
 	cfg          reclaim.Config
+	rt           *reclaim.Retirer
 	globalEra    atomic.Uint64
 	counterStart atomic.Uint64
 	counterEnd   atomic.Uint64
@@ -85,6 +79,8 @@ type WFEIBR struct {
 }
 
 var _ reclaim.Scheme = (*WFEIBR)(nil)
+var _ reclaim.Judge = (*WFEIBR)(nil)
+var _ reclaim.RetireObserver = (*WFEIBR)(nil)
 
 // New creates a wait-free 2GEIBR scheme over the given arena.
 func New(arena *mem.Arena, cfg reclaim.Config) *WFEIBR {
@@ -98,6 +94,7 @@ func New(arena *mem.Arena, cfg reclaim.Config) *WFEIBR {
 		state:     make([]slowSlot, n),
 		threads:   make([]threadState, n),
 	}
+	w.rt = reclaim.NewRetirer(arena, cfg, w)
 	w.globalEra.Store(1)
 	for i := 0; i < n; i++ {
 		w.intervals[i].lower.Store(pack.Inf)
@@ -114,6 +111,9 @@ func (w *WFEIBR) Name() string { return "WFE-IBR" }
 
 // Arena implements reclaim.Scheme.
 func (w *WFEIBR) Arena() *mem.Arena { return w.arena }
+
+// Retirer implements reclaim.Scheme.
+func (w *WFEIBR) Retirer() *reclaim.Retirer { return w.rt }
 
 // Era returns the global era clock.
 func (w *WFEIBR) Era() uint64 { return w.globalEra.Load() }
@@ -156,6 +156,8 @@ func raiseUpper(iv *interval, e uint64) {
 }
 
 // GetProtected is the 2GEIBR loop with WFE's fast-path bound and helping.
+// Each call's combined fast+slow iteration count feeds the shared step
+// histogram — the bounded-steps distribution WFE's construction delivers.
 func (w *WFEIBR) GetProtected(tid int, src *atomic.Uint64, index int, parent mem.Handle) uint64 {
 	iv := &w.intervals[tid]
 	prev := iv.upper.Load()
@@ -164,6 +166,7 @@ func (w *WFEIBR) GetProtected(tid int, src *atomic.Uint64, index int, parent mem
 			ret := src.Load()
 			cur := w.globalEra.Load()
 			if prev == cur {
+				w.rt.RecordSteps(tid, uint64(a)+1)
 				return ret
 			}
 			iv.upper.Store(cur)
@@ -175,6 +178,8 @@ func (w *WFEIBR) GetProtected(tid int, src *atomic.Uint64, index int, parent mem
 
 func (w *WFEIBR) getProtectedSlow(tid int, src *atomic.Uint64, parent mem.Handle, prev uint64) uint64 {
 	w.slowPaths.Add(1)
+	steps := uint64(w.cfg.MaxAttempts)
+	defer func() { w.rt.RecordSteps(tid, steps) }()
 	birth := uint64(pack.Inf)
 	if parent != 0 {
 		birth = w.arena.AllocEra(parent)
@@ -197,6 +202,7 @@ func (w *WFEIBR) getProtectedSlow(tid int, src *atomic.Uint64, parent mem.Handle
 
 	iv := &w.intervals[tid]
 	for { // bounded by in-flight era increments (WFE Lemma 1)
+		steps++
 		ret := src.Load()
 		cur := w.globalEra.Load()
 		if prev == cur &&
@@ -297,67 +303,46 @@ func (w *WFEIBR) Alloc(tid int) mem.Handle {
 	return blk
 }
 
-// Retire stamps the retire era and periodically scans; era advances on
-// retirement too (see the ibr package), via the helping path.
+// Retire stamps the retire era and hands the block to the shared
+// retire-side runtime; the era advances on retirement too (see the ibr
+// package), via the helping path, through the OnRetire hook.
 func (w *WFEIBR) Retire(tid int, blk mem.Handle) {
 	w.arena.SetRetireEra(blk, w.globalEra.Load())
-	t := &w.threads[tid]
-	t.retired.Append(blk)
-	if t.retireCount%uint64(w.cfg.EraFreq) == 0 {
-		w.incrementEra(tid)
-	}
-	if t.retireCount%uint64(w.cfg.CleanupFreq) == 0 {
-		w.cleanup(tid)
-	}
-	t.retireCount++
+	w.rt.Retire(tid, blk)
 }
 
-// cleanup gathers special intervals first and normal intervals second (the
-// Lemma 5 scan order for the upper-bound hand-over), then frees every block
-// whose lifespan overlaps none of them. The membership test is a union
-// over both classes, so the gathered endpoints are sorted once — after
-// the gather, which keeps the scan order — and binary-searched per block
-// (O((R+G)·log G) instead of O(R×G)), unless LinearScan pins the
-// reference oracle.
-func (w *WFEIBR) cleanup(tid int) {
-	t := &w.threads[tid]
-	blocks := t.retired.Blocks
-	if len(blocks) == 0 {
-		return
+// OnRetire implements reclaim.RetireObserver: the periodic retire-driven
+// era advance, routed through incrementEra so pending requests get helped
+// first.
+func (w *WFEIBR) OnRetire(tid int, n uint64, blk mem.Handle) {
+	if n%uint64(w.cfg.EraFreq) == 0 {
+		w.incrementEra(tid)
 	}
-	start := time.Now()
-	los, his := t.los[:0], t.his[:0]
+}
+
+// Gather implements reclaim.Judge: special intervals first and normal
+// intervals second (the Lemma 5 scan order for the upper-bound hand-over).
+// The membership test is a union over both classes, so the runtime may
+// sort the gathered endpoints once — after the gather, which keeps the
+// scan order — without touching the proof.
+func (w *WFEIBR) Gather(tid int, s *reclaim.Snapshot) {
 	for _, set := range [][]interval{w.specials, w.intervals} {
 		for i := range set {
 			lower := set[i].lower.Load()
 			if lower == pack.Inf {
 				continue
 			}
-			los = append(los, lower)
-			his = append(his, set[i].upper.Load())
+			s.AddInterval(lower, set[i].upper.Load())
 		}
 	}
-	t.los, t.his = los, his
-	// Below the cutoff the paired linear sweep beats sort+search; the two
-	// tests decide identically (property-tested).
-	linear := w.cfg.LinearScan || len(los) < reclaim.SortCutoff
-	if !linear {
-		slices.Sort(los)
-		slices.Sort(his)
-	}
+}
 
-	keep := blocks[:0]
-	for _, blk := range blocks {
-		if w.canDelete(blk, los, his, linear) {
-			w.arena.Free(tid, blk)
-		} else {
-			keep = append(keep, blk)
-		}
-	}
-	t.retired.SetBlocks(keep)
-	t.scanScans++
-	t.scanBlocks += uint64(len(blocks))
-	t.scanNanos += uint64(time.Since(start))
+// CanFree implements reclaim.Judge via canDelete, which retains the
+// pre-overhaul paired linear sweep as the property-tested reference
+// oracle.
+func (w *WFEIBR) CanFree(tid int, s *reclaim.Snapshot, blk mem.Handle) bool {
+	los, his := s.Intervals()
+	return w.canDelete(blk, los, his, s.Linear())
 }
 
 // canDelete reports whether the block's [birth, retire] lifespan overlaps
@@ -385,23 +370,5 @@ func intervalReservedLinear(los, his []uint64, birth, retire uint64) bool {
 	return false
 }
 
-// CleanupStats reports how many cleanup scans ran, how many retired
-// blocks they examined, and the nanoseconds they spent. Call quiescently.
-func (w *WFEIBR) CleanupStats() (scans, blocks, nanos uint64) {
-	for i := range w.threads {
-		t := &w.threads[i]
-		scans += t.scanScans
-		blocks += t.scanBlocks
-		nanos += t.scanNanos
-	}
-	return
-}
-
 // Unreclaimed implements reclaim.Scheme.
-func (w *WFEIBR) Unreclaimed() int {
-	total := 0
-	for i := range w.threads {
-		total += w.threads[i].retired.Len()
-	}
-	return total
-}
+func (w *WFEIBR) Unreclaimed() int { return w.rt.Unreclaimed() }
