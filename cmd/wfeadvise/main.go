@@ -1,0 +1,109 @@
+// Command wfeadvise reads a recorded telemetry artifact and prints the
+// reclamation scheme the advisor kernel recommends for the schedule it
+// shows, with the evidence. It understands both artifact schemas this
+// repository produces:
+//
+//   - wfe-chaos/v1 (cmd/wfestress -chaos -chaosdir): one scheme's
+//     trajectory under an injected schedule — advised via the stall/spike/
+//     park signature analysis (advisor.Advise);
+//   - wfe-bench/v1 (cmd/wfebench -json): a measured cross-scheme sweep —
+//     advised by picking the fastest scheme whose backlog stayed bounded
+//     per figure×threads group (advisor.AdviseSweep).
+//
+// Usage:
+//
+//	wfeadvise trajectory.json
+//	wfeadvise BENCH_BASELINE.json
+//	wfeadvise -json chaos-out/stalled-reader-EBR.json
+//
+// Exit status: 0 on a recommendation, 2 on a usage, IO or schema error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"wfe/advisor"
+	"wfe/internal/bench"
+	"wfe/internal/chaos"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit the full Recommendation as JSON instead of prose")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: wfeadvise [-json] <artifact.json>\n")
+		fmt.Fprintf(os.Stderr, "artifact schemas: %s, %s\n", chaos.Schema, bench.ReportSchema)
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	rec, source, err := advise(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wfeadvise: %v\n", err)
+		os.Exit(2)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rec); err != nil {
+			fmt.Fprintf(os.Stderr, "wfeadvise: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
+	fmt.Printf("recommendation: %s  (%s)\n", rec.Scheme, source)
+	for _, r := range rec.Reasons {
+		fmt.Printf("  - %s\n", r)
+	}
+}
+
+// advise loads the artifact, dispatches on its schema field, and returns
+// the recommendation plus a one-line description of what was analyzed.
+func advise(path string) (advisor.Recommendation, string, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return advisor.Recommendation{}, "", err
+	}
+	var head struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(blob, &head); err != nil {
+		return advisor.Recommendation{}, "", fmt.Errorf("%s: %w", path, err)
+	}
+	switch head.Schema {
+	case chaos.Schema:
+		var tr chaos.Trajectory
+		if err := json.Unmarshal(blob, &tr); err != nil {
+			return advisor.Recommendation{}, "", fmt.Errorf("%s: %w", path, err)
+		}
+		source := fmt.Sprintf("from %d-tick %s trajectory of scenario %q", len(tr.Ticks), tr.Scheme, tr.Scenario)
+		return advisor.Advise(tr.Samples()), source, nil
+	case bench.ReportSchema:
+		var rep bench.Report
+		if err := json.Unmarshal(blob, &rep); err != nil {
+			return advisor.Recommendation{}, "", fmt.Errorf("%s: %w", path, err)
+		}
+		points := make([]advisor.SweepPoint, len(rep.Figures))
+		for i, r := range rep.Figures {
+			points[i] = advisor.SweepPoint{
+				Figure:         r.Figure,
+				Scheme:         r.Scheme,
+				Threads:        r.Threads,
+				Mops:           r.Mops,
+				UnreclaimedMax: r.UnreclaimedMax,
+			}
+		}
+		source := fmt.Sprintf("from measured sweep of %d points", len(points))
+		return advisor.AdviseSweep(points), source, nil
+	case "":
+		return advisor.Recommendation{}, "", fmt.Errorf("%s: no schema field; not a wfe artifact", path)
+	default:
+		return advisor.Recommendation{}, "", fmt.Errorf("%s: unsupported schema %q (want %s or %s)",
+			path, head.Schema, chaos.Schema, bench.ReportSchema)
+	}
+}

@@ -17,23 +17,35 @@
 // structure is drained and the run asserts the guard pool refills and (for
 // every reclaiming scheme) the retired backlog collapses.
 //
+// The -chaos mode runs internal/chaos's canned hostile-schedule matrix
+// (stalled readers, preempted writers, bursty churn, oversubscription)
+// across the schemes, asserts each scheme's robustness bound and the
+// advisor's expected recommendation, and with -chaosdir writes every
+// per-(scenario, scheme) trajectory as wfe-chaos/v1 JSON for artifact
+// upload and cmd/wfeadvise.
+//
 //	wfestress -ds hashmap -scheme WFE -forceslow -threads 8 -duration 5s
 //	wfestress -ds all -scheme all -duration 2s
 //	wfestress -churn -scheme all -duration 2s
 //	wfestress -workloads -scheme all -duration 1s
+//	wfestress -chaos -scheme all -chaosdir chaos-out
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"wfe"
+	"wfe/advisor"
 	"wfe/internal/bench"
+	"wfe/internal/chaos"
 	"wfe/internal/ds"
 	"wfe/internal/ds/bst"
 	"wfe/internal/ds/crturn"
@@ -60,6 +72,8 @@ func main() {
 		eraFreq   = flag.Int("erafreq", 8, "era increment frequency (low values stress helping)")
 		churn     = flag.Bool("churn", false, "guard-runtime churn: 8x more goroutines than guards over the public guardless API")
 		workloads = flag.Bool("workloads", false, "storm the promoted public structures (WFQueue, TurnQueue, HashMap, Tree) through the guardless API")
+		chaosRun  = flag.Bool("chaos", false, "run the canned chaos-schedule matrix (stalled readers, preempted writers, bursty churn, oversubscription) and assert the per-scheme robustness bounds")
+		chaosDir  = flag.String("chaosdir", "", "with -chaos: directory to write per-(scenario,scheme) trajectory JSONs into")
 	)
 	flag.Parse()
 
@@ -73,6 +87,13 @@ func main() {
 	}
 
 	failed := false
+	if *chaosRun {
+		if err := chaosMatrix(*scheme, *chaosDir); err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL chaos: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *workloads {
 		for _, ds := range []string{"wfqueue", "turnqueue", "hashmap", "tree"} {
 			for _, s := range scs {
@@ -110,6 +131,82 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// chaosMatrix runs the canned chaos scenarios over the selected schemes
+// (every scheme for "all"), asserting the same robustness matrix as the
+// chaos tests: bounded schemes under their ceilings, the exempt schemes
+// (Leak; EBR under a stalled reader) visibly past the floor, a clean
+// post-run quiesce everywhere, and the advisor's expected recommendation
+// on each scenario's EBR trajectory. With dir set, each trajectory is
+// written to <dir>/<scenario>-<scheme>.json for artifact upload.
+func chaosMatrix(scheme, dir string) error {
+	kinds := wfe.AllSchemes()
+	if scheme != "all" {
+		name := scheme
+		if name == "WFE-slow" {
+			name = "WFE"
+		}
+		kind, err := wfe.ParseScheme(name)
+		if err != nil {
+			return err
+		}
+		kinds = []wfe.SchemeKind{kind}
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	failed := false
+	for _, c := range chaos.Catalog() {
+		for _, kind := range kinds {
+			tr, err := chaos.Run(kind, c.Scenario)
+			if err != nil {
+				return err
+			}
+			verdict := "ok"
+			complain := func(format string, args ...any) {
+				verdict = fmt.Sprintf(format, args...)
+				failed = true
+			}
+			ceiling := c.Ceiling(kind)
+			switch {
+			case tr.Summary.Quiesce != "":
+				complain("quiesce: %s", tr.Summary.Quiesce)
+			case ceiling > 0 && tr.Summary.UnreclaimedMax > ceiling:
+				complain("highwater %d exceeds ceiling %d", tr.Summary.UnreclaimedMax, ceiling)
+			case ceiling == 0 && (kind == wfe.EBR || (kind == wfe.Leak && tr.Summary.Deterministic)) &&
+				tr.Summary.UnreclaimedMax <= c.UnboundedFloor:
+				complain("expected growth past %d, saw %d", c.UnboundedFloor, tr.Summary.UnreclaimedMax)
+			}
+			advice := ""
+			if kind == wfe.EBR && c.WantAdvice != "" {
+				rec := advisor.Advise(tr.Samples())
+				advice = fmt.Sprintf("  advise=%s", rec.Scheme)
+				if rec.Scheme != c.WantAdvice {
+					complain("advisor said %s, want %s", rec.Scheme, c.WantAdvice)
+				}
+			}
+			fmt.Printf("chaos %-17s %-8s highwater=%6d final=%5d parks=%6d %s%s\n",
+				c.Name, kind, tr.Summary.UnreclaimedMax, tr.Summary.UnreclaimedFinal,
+				tr.Summary.Parks, verdict, advice)
+			if dir != "" {
+				blob, err := json.MarshalIndent(tr, "", " ")
+				if err != nil {
+					return err
+				}
+				path := filepath.Join(dir, fmt.Sprintf("%s-%s.json", c.Name, kind))
+				if err := os.WriteFile(path, blob, 0o644); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if failed {
+		return fmt.Errorf("robustness matrix violated (see lines above)")
+	}
+	return nil
 }
 
 // churnStress hammers the guard runtime: guards = threads, goroutines =

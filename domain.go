@@ -509,21 +509,20 @@ type Telemetry struct {
 func (d *Domain[T]) Telemetry() Telemetry {
 	st := d.arena.Stats()
 	gp := d.guards.Stats()
-	rt := d.smr.Retirer()
-	scan := rt.Stats()
+	probe := d.smr.Retirer().Probe()
 	t := Telemetry{
 		Scheme:      d.kind.String(),
-		MaxSteps:    rt.MaxSteps(),
-		P99Steps:    rt.StepQuantile(0.99),
-		Unreclaimed: rt.Unreclaimed(),
+		MaxSteps:    probe.MaxSteps,
+		P99Steps:    probe.P99Steps,
+		Unreclaimed: probe.Unreclaimed,
 		Allocs:      st.Allocs,
 		Frees:       st.Frees,
 		InUse:       st.InUse,
 		Capacity:    d.arena.Capacity(),
 
-		ScanScans:  scan.Scans,
-		ScanBlocks: scan.Blocks,
-		ScanNanos:  scan.Nanos,
+		ScanScans:  probe.Scans.Scans,
+		ScanBlocks: probe.Scans.Blocks,
+		ScanNanos:  probe.Scans.Nanos,
 
 		ArenaSegPushes:     st.SegPushes,
 		ArenaSegPops:       st.SegPops,
@@ -543,6 +542,47 @@ func (d *Domain[T]) Telemetry() Telemetry {
 		t.SlowPaths = s.SlowPaths()
 	}
 	return t
+}
+
+// A TelemetrySample is the compact per-tick subset of Telemetry a
+// trajectory recorder collects at high frequency: the reclamation backlog,
+// the cumulative scan and step telemetry, the allocation counters and the
+// guard-park count — exactly the signals the advisor package's decision
+// kernel consumes. Where Telemetry is a wide point-in-time census for
+// humans, a TelemetrySample is one row of a time series: sample it every
+// tick, feed the rows to advisor.Advise (via the internal/chaos harness or
+// your own recorder), and the stall/backlog profile of the schedule falls
+// out of the deltas between rows.
+type TelemetrySample struct {
+	Unreclaimed int    `json:"unreclaimed"` // retired blocks not yet recycled
+	ScanScans   uint64 `json:"scan_scans"`  // cumulative cleanup scans
+	ScanBlocks  uint64 `json:"scan_blocks"` // cumulative retired blocks examined
+	MaxSteps    uint64 `json:"max_steps"`   // worst GetProtected step count so far
+	P99Steps    uint64 `json:"p99_steps"`   // p99 GetProtected step count so far
+	Allocs      uint64 `json:"allocs"`      // cumulative block allocations
+	Frees       uint64 `json:"frees"`       // cumulative blocks recycled
+	InUse       uint64 `json:"in_use"`      // Allocs - Frees
+	GuardParks  uint64 `json:"guard_parks"` // cumulative parked guard acquisitions
+}
+
+// Sample collects one TelemetrySample in a single pass over the retire
+// runtime's per-thread state (reclaim.Retirer.Probe, the tick-sampling
+// hook) plus the arena and guard-pool counters. Approximate under
+// concurrency like Telemetry; cheap enough to call every scheduler tick.
+func (d *Domain[T]) Sample() TelemetrySample {
+	probe := d.smr.Retirer().Probe()
+	st := d.arena.Stats()
+	return TelemetrySample{
+		Unreclaimed: probe.Unreclaimed,
+		ScanScans:   probe.Scans.Scans,
+		ScanBlocks:  probe.Scans.Blocks,
+		MaxSteps:    probe.MaxSteps,
+		P99Steps:    probe.P99Steps,
+		Allocs:      st.Allocs,
+		Frees:       st.Frees,
+		InUse:       st.InUse,
+		GuardParks:  d.guards.Stats().Parks,
+	}
 }
 
 // ArenaCensus is a quiescent-only accounting snapshot of the Domain's

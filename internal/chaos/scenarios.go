@@ -1,0 +1,173 @@
+package chaos
+
+import "wfe"
+
+// A Canned scenario bundles a Scenario with the assertions the robustness
+// matrix makes about it: the per-scheme backlog ceiling it must respect
+// (0 = expected unbounded — the scheme is allowed, indeed expected, to
+// blow past every bounded scheme's ceiling), and the scheme the advisor
+// must recommend when shown the scenario's EBR trajectory (the incumbent
+// cheap scheme an operator would be running when deciding whether to
+// escalate). WantAdvice "" pins nothing.
+type Canned struct {
+	Scenario
+	Ceiling    func(kind wfe.SchemeKind) int
+	WantAdvice string
+	// UnboundedFloor is the backlog every scheme the Ceiling table exempts
+	// (Leak always; EBR under a stalled reader) must EXCEED — the matrix
+	// asserts the distinction from both sides, so a scenario too gentle to
+	// expose EBR's unboundedness fails the test rather than silently
+	// proving nothing.
+	UnboundedFloor int
+}
+
+// Backlog ceilings, from the schemes' bounds rather than measurement:
+//
+//   - HP protects at most MaxGuards×MaxSlots individual handles, so its
+//     backlog is scan lag plus a handful of pinned blocks: ceilingHP.
+//   - The era/interval schemes pin the blocks live when the stall began —
+//     at most KeyRange map nodes plus the hot cell — plus scan lag:
+//     ceilingEra.
+//   - EBR under a stalled reader accumulates every retire for the whole
+//     stall window; the canned stall windows retire several times
+//     ceilingEra, so "exceeds ceilingEra" is a robust unbounded signature.
+//
+// Scan lag at the canned cadence (CleanupFreq 4, rings per tid) is tens
+// of blocks; the ceilings leave it an order of magnitude of headroom
+// without approaching EBR's stall accumulation.
+const (
+	ceilingHP  = 256
+	ceilingEra = 768
+)
+
+// boundedCeiling is the ceiling table for schedules where every real
+// scheme is bounded (cooperative, preempted writer, bursty-with-drain,
+// oversubscription): Leak is exempt, everything else must stay under the
+// era ceiling (HP under its tighter one).
+func boundedCeiling(kind wfe.SchemeKind) int {
+	switch kind {
+	case wfe.Leak:
+		return 0
+	case wfe.HP:
+		return ceilingHP
+	default:
+		return ceilingEra
+	}
+}
+
+// stalledReaderCeiling additionally exempts EBR: one stalled reservation
+// stops its reclamation entirely, the distinction the paper's Table 1
+// draws and the matrix test asserts from both sides.
+func stalledReaderCeiling(kind wfe.SchemeKind) int {
+	if kind == wfe.EBR {
+		return 0
+	}
+	return boundedCeiling(kind)
+}
+
+// Cooperative is the control: no stalls, every scheme bounded, the
+// advisor keeps EBR.
+func Cooperative() Canned {
+	return Canned{
+		Scenario: Scenario{
+			Name:  "cooperative",
+			Seed:  1,
+			Debug: true,
+		},
+		Ceiling:        boundedCeiling,
+		WantAdvice:     "EBR",
+		UnboundedFloor: ceilingEra,
+	}
+}
+
+// StalledReader parks worker 0 for a 30-tick window while it holds a
+// guard protecting the hot node: the scenario the schemes disagree on.
+// The stall lifts at tick 50 with ten cooperative ticks left, so the
+// trajectory also shows EBR's backlog draining once the reservation
+// clears (and the post-run settle asserts it collapses).
+func StalledReader() Canned {
+	return Canned{
+		Scenario: Scenario{
+			Name:   "stalled-reader",
+			Seed:   2,
+			Stalls: []StallSpec{{Worker: 0, From: 20, To: 50, Kind: StallReader}},
+			Debug:  true,
+		},
+		Ceiling:        stalledReaderCeiling,
+		WantAdvice:     "WFE",
+		UnboundedFloor: ceilingEra,
+	}
+}
+
+// PreemptedWriter parks worker 0 for the same window but between
+// operations, retire ring undrained and no reservation held: bounded for
+// every scheme, the other side of the robustness distinction.
+func PreemptedWriter() Canned {
+	return Canned{
+		Scenario: Scenario{
+			Name:   "preempted-writer",
+			Seed:   3,
+			Stalls: []StallSpec{{Worker: 0, From: 20, To: 50, Kind: StallWriter}},
+			Debug:  true,
+		},
+		Ceiling: boundedCeiling,
+		// No advice pinned: a stranded ring barely moves EBR's backlog,
+		// so the trajectory legitimately reads as cooperative.
+		WantAdvice:     "",
+		UnboundedFloor: ceilingEra,
+	}
+}
+
+// BurstyChurn injects four short reader-stall spikes with calm stretches
+// between: each spike's backlog excursion drains when the stall lifts, so
+// memory stays bounded but the schedule is plainly not stall-free — the
+// advisor's HE case.
+func BurstyChurn() Canned {
+	return Canned{
+		Scenario: Scenario{
+			Name:  "bursty-churn",
+			Seed:  4,
+			Ticks: 64,
+			Stalls: []StallSpec{
+				{Worker: 0, From: 8, To: 13, Kind: StallReader},
+				{Worker: 1, From: 21, To: 26, Kind: StallReader},
+				{Worker: 0, From: 34, To: 39, Kind: StallReader},
+				{Worker: 2, From: 47, To: 52, Kind: StallReader},
+			},
+			Debug: true,
+		},
+		Ceiling:        boundedCeiling,
+		WantAdvice:     "HE",
+		UnboundedFloor: ceilingEra,
+	}
+}
+
+// Oversubscription storms the map with goroutines ≫ guards so guardless
+// acquisitions park; the concurrent engine runs it. Bounded memory for
+// every scheme, park pressure on every trajectory.
+func Oversubscription() Canned {
+	return Canned{
+		Scenario: Scenario{
+			Name:       "oversubscription",
+			Seed:       5,
+			Goroutines: 16,
+			MaxGuards:  2,
+			Debug:      true,
+		},
+		Ceiling:        boundedCeiling,
+		WantAdvice:     "HE",
+		UnboundedFloor: ceilingEra,
+	}
+}
+
+// Catalog is the canned scenario matrix, in the order the docs and the
+// -chaos stress mode present it.
+func Catalog() []Canned {
+	return []Canned{
+		Cooperative(),
+		StalledReader(),
+		PreemptedWriter(),
+		BurstyChurn(),
+		Oversubscription(),
+	}
+}

@@ -15,39 +15,84 @@ import (
 // separate the two arms).
 const DefaultSortCutoff = 32
 
+// JudgeKind classifies a Judge by the shape of its membership test, which
+// is what the linear/sorted crossover depends on: an era judge runs one
+// binary search per retired block (ReservedInRange), an interval judge two
+// (IntervalsOverlap counts endpoints on both sides). The two kinds
+// therefore have different crossover constants on the same host, so
+// Calibrate measures them separately.
+type JudgeKind int
+
+const (
+	// EraJudge gathers point reservations (eras, epochs, hazard handles):
+	// HP, EBR, HE, WFE.
+	EraJudge JudgeKind = iota
+	// IntervalJudge gathers [lower, upper] reservation intervals:
+	// 2GEIBR, WFE-IBR.
+	IntervalJudge
+
+	numJudgeKinds
+)
+
+// String returns the kind's calibration-table name.
+func (k JudgeKind) String() string {
+	if k == IntervalJudge {
+		return "interval"
+	}
+	return "era"
+}
+
+// A Kinder is a Judge that declares its kind. Judges that do not implement
+// it are treated as era judges (the majority, and the cheaper probe).
+type Kinder interface {
+	JudgeKind() JudgeKind
+}
+
 var (
-	calibrateOnce   sync.Once
-	calibratedValue int
+	calibrateOnces  [numJudgeKinds]sync.Once
+	calibratedValue [numJudgeKinds]int
 
 	// calibrateSink absorbs the probe loops' results so their work is
 	// externally observable and cannot be optimized away.
 	calibrateSink uint64
 )
 
-// Calibrate measures this host's linear/sorted cleanup crossover once per
-// process and returns the gathered-reservation count at which a scan
-// should start sorting its snapshot. NewRetirer consults it whenever
-// Config.SortCutoff is zero, so every Domain picks the cutoff for the
-// hardware it actually runs on instead of inheriting the constant of the
-// machine the ablation was first run on.
+// Calibrate measures this host's era-judge linear/sorted cleanup crossover
+// once per process — shorthand for CalibrateKind(EraJudge), kept as the
+// stable name the rest of the repository grew up calling.
+func Calibrate() int { return CalibrateKind(EraJudge) }
+
+// CalibrateKind measures this host's linear/sorted cleanup crossover for
+// one judge kind, once per process per kind, and returns the
+// gathered-reservation count at which a scan of that kind should start
+// sorting its snapshot. NewRetirer consults it whenever Config.SortCutoff
+// is zero, keyed by the judge's declared kind, so every Domain picks the
+// cutoff for the hardware and membership test it actually runs instead of
+// inheriting one constant for both: interval judges pay two binary
+// searches per retired block where era judges pay one, so their sorted arm
+// amortises later.
 //
 // The measurement is a coarse one-shot estimate (a few hundred
-// microseconds): for growing snapshot sizes G it times judging a fixed
-// retired batch by the linear sweep against sort-once-plus-binary-search,
-// and reports the first G where sorting wins. The two tests are
-// property-tested equivalent (TestSortedScanMatchesLinearOracle), so
-// whatever value noise produces is purely a cost choice, never a
-// correctness one. Override it deterministically via Config.SortCutoff.
-func Calibrate() int {
-	calibrateOnce.Do(func() { calibratedValue = calibrate() })
-	return calibratedValue
+// microseconds per kind): for growing snapshot sizes G it times judging a
+// fixed retired batch by the kind's linear sweep against
+// sort-once-plus-binary-search, and reports the first G where sorting
+// wins. The two tests are property-tested equivalent
+// (TestSortedScanMatchesLinearOracle), so whatever value noise produces is
+// purely a cost choice, never a correctness one. Override it
+// deterministically via Config.SortCutoff, which wins for both kinds.
+func CalibrateKind(kind JudgeKind) int {
+	if kind < 0 || kind >= numJudgeKinds {
+		kind = EraJudge
+	}
+	calibrateOnces[kind].Do(func() { calibratedValue[kind] = calibrate(kind) })
+	return calibratedValue[kind]
 }
 
 // calibrateSizes are the probed snapshot sizes, bracketing
 // DefaultSortCutoff on both sides.
 var calibrateSizes = [...]int{8, 16, 24, 32, 48, 64, 96, 128}
 
-func calibrate() int {
+func calibrate(kind JudgeKind) int {
 	const (
 		blocks = 64 // retired blocks judged per scan (a CleanupFreq-scale backlog)
 		reps   = 16 // scans per timed arm, to rise above timer granularity
@@ -66,28 +111,44 @@ func calibrate() int {
 	var sink uint64
 	defer func() { calibrateSink += sink }()
 
-	eras := make([]uint64, 0, calibrateSizes[len(calibrateSizes)-1])
-	sorted := make([]uint64, 0, cap(eras))
-	los := make([]uint64, blocks)
-	his := make([]uint64, blocks)
+	maxG := calibrateSizes[len(calibrateSizes)-1]
+	los := make([]uint64, 0, maxG) // gathered reservations (interval lowers, or the era points)
+	his := make([]uint64, 0, maxG) // gathered interval uppers (interval kind only)
+	sortedLos := make([]uint64, 0, maxG)
+	sortedHis := make([]uint64, 0, maxG)
+	blkLo := make([]uint64, blocks) // judged lifespans [blkLo, blkHi]
+	blkHi := make([]uint64, blocks)
 
 	for _, g := range calibrateSizes {
-		eras = eras[:0]
+		los, his = los[:0], his[:0]
 		for i := 0; i < g; i++ {
-			eras = append(eras, next()%1024)
+			lo := next() % 1024
+			los = append(los, lo)
+			his = append(his, lo+next()%16)
 		}
-		for i := range los {
-			los[i] = next() % 1024
-			his[i] = los[i] + next()%16
+		for i := range blkLo {
+			blkLo[i] = next() % 1024
+			blkHi[i] = blkLo[i] + next()%16
 		}
 
 		linStart := time.Now()
 		for rep := 0; rep < reps; rep++ {
 			for b := 0; b < blocks; b++ {
-				for _, e := range eras {
-					if los[b] <= e && his[b] >= e {
-						sink++
-						break
+				if kind == IntervalJudge {
+					// The paired reference sweep of the interval schemes'
+					// canDelete: overlap against each [los[i], his[i]].
+					for i := range los {
+						if blkLo[b] <= his[i] && blkHi[b] >= los[i] {
+							sink++
+							break
+						}
+					}
+				} else {
+					for _, e := range los {
+						if blkLo[b] <= e && blkHi[b] >= e {
+							sink++
+							break
+						}
 					}
 				}
 			}
@@ -97,12 +158,23 @@ func calibrate() int {
 		srtStart := time.Now()
 		for rep := 0; rep < reps; rep++ {
 			// Each real scan re-gathers and re-sorts its snapshot, so the
-			// sort is inside the timed region.
-			sorted = append(sorted[:0], eras...)
-			slices.Sort(sorted)
-			for b := 0; b < blocks; b++ {
-				if ReservedInRange(sorted, los[b], his[b]) {
-					sink++
+			// sort is inside the timed region — both endpoint slices for
+			// the interval kind, mirroring Snapshot.seal.
+			sortedLos = append(sortedLos[:0], los...)
+			slices.Sort(sortedLos)
+			if kind == IntervalJudge {
+				sortedHis = append(sortedHis[:0], his...)
+				slices.Sort(sortedHis)
+				for b := 0; b < blocks; b++ {
+					if IntervalsOverlap(sortedLos, sortedHis, blkLo[b], blkHi[b]) {
+						sink++
+					}
+				}
+			} else {
+				for b := 0; b < blocks; b++ {
+					if ReservedInRange(sortedLos, blkLo[b], blkHi[b]) {
+						sink++
+					}
 				}
 			}
 		}

@@ -184,11 +184,13 @@ func IntervalsOverlap(los, his []uint64, birth, retire uint64) bool {
 // call.
 const StepHistBuckets = 64
 
-// StepHist is an owner-written histogram of per-call GetProtected step
+// StepHist is a single-writer histogram of per-call GetProtected step
 // counts, the distribution behind the paper's bounded-steps claim (the
 // Max worst case is its tail, the BENCH_*.json p99 its body). Each thread
-// records into its own padded copy with no synchronisation; merge and
-// query only quiescently.
+// records into its own padded copy; counts are published with atomic
+// stores so trajectory samplers (Retirer.Probe, Domain.Sample) can Merge
+// a live histogram concurrently and read an approximate-but-race-free
+// snapshot. Exact totals still require quiescence.
 type StepHist struct {
 	buckets [StepHistBuckets]uint64
 	// max is the exact worst step count recorded, which the clamped top
@@ -197,26 +199,28 @@ type StepHist struct {
 }
 
 // Record counts one GetProtected call that took steps iterations.
+// Owner-thread only.
 func (h *StepHist) Record(steps uint64) {
-	if steps > h.max {
-		h.max = steps
+	if steps > atomic.LoadUint64(&h.max) {
+		atomic.StoreUint64(&h.max, steps)
 	}
 	if steps >= StepHistBuckets {
 		steps = StepHistBuckets - 1
 	}
-	h.buckets[steps]++
+	atomic.StoreUint64(&h.buckets[steps], atomic.LoadUint64(&h.buckets[steps])+1)
 }
 
 // Max returns the worst step count recorded (0 when nothing was).
-func (h *StepHist) Max() uint64 { return h.max }
+func (h *StepHist) Max() uint64 { return atomic.LoadUint64(&h.max) }
 
-// Merge accumulates other's counts into h.
+// Merge accumulates other's counts into h. other may be a live
+// owner-written histogram; h must be private to the caller.
 func (h *StepHist) Merge(other *StepHist) {
-	for i, v := range other.buckets {
-		h.buckets[i] += v
+	for i := range other.buckets {
+		h.buckets[i] += atomic.LoadUint64(&other.buckets[i])
 	}
-	if other.max > h.max {
-		h.max = other.max
+	if m := atomic.LoadUint64(&other.max); m > h.max {
+		h.max = m
 	}
 }
 

@@ -118,13 +118,21 @@ func NewRetirer(arena *mem.Arena, cfg Config, judge Judge) *Retirer {
 		cutoff:      cfg.SortCutoff,
 		threads:     make([]retireThread, cfg.MaxThreads),
 	}
-	if r.cutoff == 0 {
-		r.cutoff = Calibrate()
-	}
 	if judge != nil {
 		r.two, _ = judge.(TwoPhase)
 		r.pre, _ = judge.(PreScanner)
 		r.obs, _ = judge.(RetireObserver)
+	}
+	if r.cutoff == 0 {
+		// No deterministic override: use the host crossover for this
+		// judge's membership-test shape (interval judges binary-search
+		// twice per block, so their crossover sits elsewhere than the era
+		// judges' on the same hardware).
+		kind := EraJudge
+		if k, ok := judge.(Kinder); ok {
+			kind = k.JudgeKind()
+		}
+		r.cutoff = CalibrateKind(kind)
 	}
 	return r
 }
@@ -185,6 +193,10 @@ func (r *Retirer) Scan(tid int) {
 	t := &r.threads[tid]
 	n := t.ring.len()
 	if n == 0 {
+		// Nothing to judge, but an empty ring is still a settled one: let
+		// the settle streak advance so post-drain quiescent scans shed a
+		// spike-grown buffer too.
+		t.ring.maybeShrink()
 		return
 	}
 	start := time.Now()
@@ -222,9 +234,12 @@ func (r *Retirer) Scan(tid int) {
 	}
 	t.survivors = survivors[:0]
 	t.ring.publish()
-	t.stats.Scans++
-	t.stats.Blocks += uint64(n)
-	t.stats.Nanos += uint64(time.Since(start))
+	t.ring.maybeShrink()
+	// Published atomically (single writer) so concurrent trajectory
+	// samplers (Probe, Stats) read race-free approximations.
+	atomic.AddUint64(&t.stats.Scans, 1)
+	atomic.AddUint64(&t.stats.Blocks, uint64(n))
+	atomic.AddUint64(&t.stats.Nanos, uint64(time.Since(start)))
 }
 
 // Unreclaimed reports the retired-but-not-yet-freed block count across all
@@ -268,16 +283,50 @@ func (r *Retirer) StepQuantile(q float64) uint64 {
 	return sum.Quantile(q)
 }
 
-// Stats sums the per-thread cleanup-scan telemetry. Sample quiescently.
+// Stats sums the per-thread cleanup-scan telemetry. Approximate under
+// concurrency; exact quiescently.
 func (r *Retirer) Stats() ScanStats {
 	var s ScanStats
 	for i := range r.threads {
 		t := &r.threads[i]
-		s.Scans += t.stats.Scans
-		s.Blocks += t.stats.Blocks
-		s.Nanos += t.stats.Nanos
+		s.Scans += atomic.LoadUint64(&t.stats.Scans)
+		s.Blocks += atomic.LoadUint64(&t.stats.Blocks)
+		s.Nanos += atomic.LoadUint64(&t.stats.Nanos)
 	}
 	return s
+}
+
+// A Probe is one consistent retire-side telemetry sample: the backlog, the
+// cumulative scan counters and the step-histogram quantiles, gathered in a
+// single pass over the per-thread state. It is the tick-sampling hook for
+// trajectory recorders (internal/chaos, the bench samplers): one call per
+// tick instead of four, so a sampler reads each thread's counters once.
+// Like every retire-side read it is exact only quiescently; concurrent
+// samples are monotonic-counter approximations, fine for trajectories.
+type Probe struct {
+	Unreclaimed int
+	Scans       ScanStats
+	MaxSteps    uint64
+	P99Steps    uint64
+}
+
+// Probe gathers one telemetry sample across all threads.
+func (r *Retirer) Probe() Probe {
+	var p Probe
+	var backlog int64
+	var hist StepHist
+	for i := range r.threads {
+		t := &r.threads[i]
+		backlog += t.ring.published.Load()
+		p.Scans.Scans += atomic.LoadUint64(&t.stats.Scans)
+		p.Scans.Blocks += atomic.LoadUint64(&t.stats.Blocks)
+		p.Scans.Nanos += atomic.LoadUint64(&t.stats.Nanos)
+		hist.Merge(&t.hist)
+	}
+	p.Unreclaimed = int(backlog)
+	p.MaxSteps = hist.Max()
+	p.P99Steps = hist.Quantile(0.99)
+	return p
 }
 
 // ring is a single-writer circular retire list: the owning tid pushes
@@ -289,10 +338,20 @@ type ring struct {
 	buf       []mem.Handle
 	head      uint64 // next pop position (monotonic; masked on access)
 	tail      uint64 // next push position
+	settled   int    // consecutive scans ending under a quarter of capacity
 	published atomic.Int64
 }
 
-const minRingCap = 64
+const (
+	minRingCap = 64
+	// shrinkAfter is the number of consecutive post-scan occupancy checks
+	// under a quarter of capacity before the ring halves. A churn spike
+	// grows a ring to its highwater; without shrinking it would hold that
+	// buffer for the rest of the domain's life, so once the spike clearly
+	// settles (not one lucky scan — several in a row) the capacity follows
+	// the backlog back down, one halving per settled window.
+	shrinkAfter = 4
+)
 
 func (q *ring) len() int { return int(q.tail - q.head) }
 
@@ -314,9 +373,33 @@ func (q *ring) pop() mem.Handle {
 func (q *ring) publish() { q.published.Store(int64(q.tail - q.head)) }
 
 // grow doubles the buffer (from minRingCap), linearizing head to index 0 so
-// the power-of-two masking stays valid.
+// the power-of-two masking stays valid. Growing resets the settle streak: a
+// ring that just grew is at its churn highwater, not settling.
 func (q *ring) grow() {
-	n := max(len(q.buf)*2, minRingCap)
+	q.resize(max(len(q.buf)*2, minRingCap))
+	q.settled = 0
+}
+
+// maybeShrink halves the buffer once occupancy has stayed under a quarter
+// of capacity for shrinkAfter consecutive scans — the shrink-on-settle
+// counterpart of grow, called at the end of each cleanup scan. The quarter
+// threshold keeps the halved ring at most half full, so a shrink can never
+// force the very next push to grow; minRingCap floors the descent.
+func (q *ring) maybeShrink() {
+	if len(q.buf) <= minRingCap || q.len() >= len(q.buf)/4 {
+		q.settled = 0
+		return
+	}
+	if q.settled++; q.settled < shrinkAfter {
+		return
+	}
+	q.resize(len(q.buf) / 2)
+	q.settled = 0
+}
+
+// resize moves the live entries into a buffer of capacity n (a power of
+// two ≥ len), linearizing head to index 0 so the masking stays valid.
+func (q *ring) resize(n int) {
 	nb := make([]mem.Handle, n)
 	cnt := int(q.tail - q.head)
 	for i := 0; i < cnt; i++ {

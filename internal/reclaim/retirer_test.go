@@ -233,25 +233,151 @@ func TestRetirerStepTelemetry(t *testing.T) {
 	}
 }
 
+// intervalFakeJudge is a fakeJudge that declares the interval judge kind,
+// like 2GEIBR and WFE-IBR do.
+type intervalFakeJudge struct{ fakeJudge }
+
+func (j *intervalFakeJudge) JudgeKind() JudgeKind { return IntervalJudge }
+
 func TestRetirerCutoffResolution(t *testing.T) {
 	a := testArena(t, 1<<8, 1)
+	// The deterministic Config.SortCutoff override wins for both judge
+	// kinds — calibration is only the zero-value default.
 	r := NewRetirer(a, Config{MaxThreads: 1, SortCutoff: 7}, &fakeJudge{})
 	if r.Cutoff() != 7 {
-		t.Fatalf("Cutoff = %d, want the configured 7", r.Cutoff())
+		t.Fatalf("era-judge Cutoff = %d, want the configured 7", r.Cutoff())
 	}
+	ri := NewRetirer(a, Config{MaxThreads: 1, SortCutoff: 9}, &intervalFakeJudge{})
+	if ri.Cutoff() != 9 {
+		t.Fatalf("interval-judge Cutoff = %d, want the configured 9", ri.Cutoff())
+	}
+	// Auto mode resolves the crossover for the judge's declared kind.
 	auto := NewRetirer(a, Config{MaxThreads: 1}, &fakeJudge{})
-	if auto.Cutoff() != Calibrate() {
-		t.Fatalf("Cutoff = %d, want the calibrated %d", auto.Cutoff(), Calibrate())
+	if auto.Cutoff() != CalibrateKind(EraJudge) {
+		t.Fatalf("Cutoff = %d, want the era-calibrated %d", auto.Cutoff(), CalibrateKind(EraJudge))
+	}
+	autoI := NewRetirer(a, Config{MaxThreads: 1}, &intervalFakeJudge{})
+	if autoI.Cutoff() != CalibrateKind(IntervalJudge) {
+		t.Fatalf("Cutoff = %d, want the interval-calibrated %d", autoI.Cutoff(), CalibrateKind(IntervalJudge))
 	}
 }
 
 func TestCalibrateIsCachedAndSane(t *testing.T) {
-	c1, c2 := Calibrate(), Calibrate()
-	if c1 != c2 {
-		t.Fatalf("Calibrate not cached: %d then %d", c1, c2)
+	for _, kind := range []JudgeKind{EraJudge, IntervalJudge} {
+		c1, c2 := CalibrateKind(kind), CalibrateKind(kind)
+		if c1 != c2 {
+			t.Fatalf("CalibrateKind(%v) not cached: %d then %d", kind, c1, c2)
+		}
+		if c1 < 2 || c1 > calibrateSizes[len(calibrateSizes)-1]*2 {
+			t.Fatalf("CalibrateKind(%v) = %d, outside the probe range", kind, c1)
+		}
 	}
-	if c1 < 2 || c1 > calibrateSizes[len(calibrateSizes)-1]*2 {
-		t.Fatalf("Calibrate = %d, outside the probe range", c1)
+	if Calibrate() != CalibrateKind(EraJudge) {
+		t.Fatal("Calibrate() diverged from CalibrateKind(EraJudge)")
+	}
+}
+
+// TestRetireRingShrinkOnSettle drives a churn spike (growing the retire
+// ring to its highwater), then settles with a trickle of pinned retires:
+// after shrinkAfter consecutive under-quarter scans the ring must halve,
+// keep halving per settled window down to minRingCap, and never drop an
+// entry across any shrink.
+func TestRetireRingShrinkOnSettle(t *testing.T) {
+	const spike = 2000
+	a := testArena(t, 1<<13, 1)
+	free := false
+	j := &fakeJudge{canFree: func(int, *Snapshot, mem.Handle) bool { return free }}
+	r := NewRetirer(a, Config{MaxThreads: 1, CleanupFreq: 1 << 30}, j)
+
+	for i := 0; i < spike; i++ {
+		r.Add(0, a.Alloc(0))
+	}
+	r.Scan(0) // judges all, frees none: the ring is at its churn highwater
+	q := &r.threads[0].ring
+	spikeCap := len(q.buf)
+	if spikeCap < spike {
+		t.Fatalf("ring capacity %d after a %d-block spike", spikeCap, spike)
+	}
+
+	free = true
+	r.Scan(0) // the spike drains
+	if r.Unreclaimed() != 0 {
+		t.Fatalf("backlog %d after draining scan", r.Unreclaimed())
+	}
+	if len(q.buf) != spikeCap {
+		t.Fatalf("ring shrank after one settled scan (cap %d -> %d); want %d consecutive",
+			spikeCap, len(q.buf), shrinkAfter)
+	}
+
+	// Settle: one pinned retire per scan keeps occupancy far under a
+	// quarter of capacity. Capacity must halve every shrinkAfter scans
+	// while every pinned entry stays queued.
+	free = false
+	var pinned []mem.Handle
+	for len(q.buf) > minRingCap {
+		capBefore := len(q.buf)
+		for i := 0; i < shrinkAfter; i++ {
+			blk := a.Alloc(0)
+			pinned = append(pinned, blk)
+			r.Add(0, blk)
+			r.Scan(0)
+		}
+		if len(q.buf) != capBefore/2 {
+			t.Fatalf("ring cap %d after %d settled scans, want %d", len(q.buf), shrinkAfter, capBefore/2)
+		}
+		if r.Unreclaimed() != len(pinned) {
+			t.Fatalf("shrink dropped entries: backlog %d, want %d", r.Unreclaimed(), len(pinned))
+		}
+	}
+	if len(q.buf) != minRingCap {
+		t.Fatalf("ring cap %d after full settle, want the %d floor", len(q.buf), minRingCap)
+	}
+
+	// Every pinned entry survived the halvings: a final permissive scan
+	// frees exactly them.
+	free = true
+	r.Scan(0)
+	if r.Unreclaimed() != 0 {
+		t.Fatalf("backlog %d after final scan", r.Unreclaimed())
+	}
+	for _, blk := range pinned {
+		if a.Live(blk) {
+			t.Fatalf("block %d lost across a shrink (never freed)", blk)
+		}
+	}
+
+	// A re-spike must still be absorbed: the shrunk ring grows again.
+	free = false
+	for i := 0; i < spike; i++ {
+		r.Add(0, a.Alloc(0))
+	}
+	if q.len() != spike {
+		t.Fatalf("re-spike lost entries: len %d, want %d", q.len(), spike)
+	}
+}
+
+// TestRetirerProbe: the tick-sampling hook must agree with the individual
+// telemetry reads it aggregates.
+func TestRetirerProbe(t *testing.T) {
+	a := testArena(t, 1<<10, 2)
+	j := &fakeJudge{canFree: func(int, *Snapshot, mem.Handle) bool { return false }}
+	r := NewRetirer(a, Config{MaxThreads: 2, CleanupFreq: 4}, j)
+	for tid := 0; tid < 2; tid++ {
+		for i := 0; i < 10; i++ {
+			r.RecordSteps(tid, uint64(i%3)+1)
+			r.Retire(tid, a.Alloc(tid))
+		}
+	}
+	p := r.Probe()
+	if p.Unreclaimed != r.Unreclaimed() {
+		t.Fatalf("Probe.Unreclaimed = %d, Unreclaimed() = %d", p.Unreclaimed, r.Unreclaimed())
+	}
+	if p.Scans != r.Stats() {
+		t.Fatalf("Probe.Scans = %+v, Stats() = %+v", p.Scans, r.Stats())
+	}
+	if p.MaxSteps != r.MaxSteps() || p.P99Steps != r.StepQuantile(0.99) {
+		t.Fatalf("Probe steps (%d, %d) disagree with (%d, %d)",
+			p.MaxSteps, p.P99Steps, r.MaxSteps(), r.StepQuantile(0.99))
 	}
 }
 
