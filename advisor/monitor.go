@@ -1,0 +1,59 @@
+package advisor
+
+// A Monitor streams trajectory samples through the pure Advise kernel and
+// reports when the recommendation changes — the live half of the advisor.
+// Where Advise judges a complete recorded trajectory, a Monitor is fed one
+// Sample per tick (by wfe's background Sampler, or any recorder) and
+// re-derives the recommendation over its window after each push; the
+// change signal it returns is the trigger ROADMAP names for live scheme
+// switching.
+//
+// A Monitor is not safe for concurrent use; callers that sample from one
+// goroutine and read from another (the Sampler) serialize around it.
+type Monitor struct {
+	window  int
+	samples []Sample
+	rec     Recommendation
+	has     bool
+}
+
+// NewMonitor creates a Monitor judging the most recent window samples.
+// window <= 0 keeps the full stream (exact equivalence with offline
+// Advise over the whole trajectory — what the chaos acceptance tests
+// pin); a bounded window makes a long-lived Monitor react to the recent
+// regime instead of the whole history.
+func NewMonitor(window int) *Monitor {
+	if window < 0 {
+		window = 0
+	}
+	return &Monitor{window: window}
+}
+
+// Window returns the configured window (0 = unbounded).
+func (m *Monitor) Window() int { return m.window }
+
+// Len returns the number of samples currently held.
+func (m *Monitor) Len() int { return len(m.samples) }
+
+// Push appends one sample, re-runs Advise over the window, and reports
+// the updated recommendation plus whether the recommended scheme changed
+// — true on the first push and whenever Advise names a different scheme
+// than the previous push. The scheme alone is the change signature:
+// reason strings and profile numbers embed per-tick measurements and
+// would fire on every sample, and a change signal that always fires is
+// no signal.
+func (m *Monitor) Push(s Sample) (Recommendation, bool) {
+	m.samples = append(m.samples, s)
+	if m.window > 0 && len(m.samples) > m.window {
+		// Slide rather than reslice forever: the monitor is long-lived.
+		copy(m.samples, m.samples[len(m.samples)-m.window:])
+		m.samples = m.samples[:m.window]
+	}
+	rec := Advise(m.samples)
+	changed := !m.has || m.rec.Scheme != rec.Scheme
+	m.rec, m.has = rec, true
+	return rec, changed
+}
+
+// Current returns the latest recommendation, false before the first Push.
+func (m *Monitor) Current() (Recommendation, bool) { return m.rec, m.has }

@@ -1,0 +1,150 @@
+package advisor
+
+import (
+	"testing"
+)
+
+// steadySample fabricates a quiet tick: backlog flat, no parks.
+func steadySample(tick int) Sample {
+	return Sample{
+		Tick:        tick,
+		Unreclaimed: 100,
+		ScanScans:   uint64(tick),
+		ScanBlocks:  uint64(tick) * 30,
+		P99Steps:    2,
+	}
+}
+
+// stalledSample fabricates a tick inside a reclamation stall: the backlog
+// grows past StallMinGrowth every tick while cleanup scans keep running
+// (scans active but freeing nothing is the blocked-reclamation signature
+// Analyze keys on).
+func stalledSample(tick, base int) Sample {
+	return Sample{
+		Tick:        tick,
+		Unreclaimed: base + tick*2*StallMinGrowth,
+		ScanScans:   uint64(tick),
+		ScanBlocks:  uint64(tick) * 30,
+		P99Steps:    2,
+	}
+}
+
+func TestMonitorMatchesOfflineAdviseUnbounded(t *testing.T) {
+	var stream []Sample
+	for i := 0; i < 40; i++ {
+		stream = append(stream, steadySample(i))
+	}
+	for i := 40; i < 80; i++ {
+		stream = append(stream, stalledSample(i, 100))
+	}
+
+	m := NewMonitor(0)
+	var last Recommendation
+	for _, s := range stream {
+		last, _ = m.Push(s)
+	}
+	want := Advise(stream)
+	if last.Scheme != want.Scheme {
+		t.Fatalf("streamed recommendation %q != offline Advise %q", last.Scheme, want.Scheme)
+	}
+	if len(last.Reasons) != len(want.Reasons) {
+		t.Fatalf("streamed reasons %v != offline %v", last.Reasons, want.Reasons)
+	}
+	for i := range last.Reasons {
+		if last.Reasons[i] != want.Reasons[i] {
+			t.Fatalf("streamed reasons %v != offline %v", last.Reasons, want.Reasons)
+		}
+	}
+	if cur, ok := m.Current(); !ok || cur.Scheme != want.Scheme {
+		t.Fatalf("Current() = %v, %v; want %q, true", cur, ok, want.Scheme)
+	}
+}
+
+func TestMonitorChangeSignalFiresOnceOnRegimeShift(t *testing.T) {
+	m := NewMonitor(0)
+
+	_, changed := m.Push(steadySample(0))
+	if !changed {
+		t.Fatal("first push must report a change")
+	}
+	changes := 0
+	for i := 1; i < 40; i++ {
+		if _, ch := m.Push(steadySample(i)); ch {
+			changes++
+		}
+	}
+	if changes != 0 {
+		t.Fatalf("steady stream flapped the recommendation %d times", changes)
+	}
+
+	// Drive into a stall and count transitions: the signature must change
+	// at least once (the stall is detected) but not on every tick.
+	changes = 0
+	var rec Recommendation
+	for i := 40; i < 120; i++ {
+		var ch bool
+		rec, ch = m.Push(stalledSample(i, 100))
+		if ch {
+			changes++
+		}
+	}
+	if changes == 0 {
+		t.Fatal("stall regime never changed the recommendation signature")
+	}
+	if changes > 6 {
+		t.Fatalf("recommendation flapped %d times across one regime shift", changes)
+	}
+	if rec.Scheme == "EBR" {
+		t.Fatalf("stalled stream still recommends EBR: %+v", rec)
+	}
+}
+
+func TestMonitorBoundedWindowSlides(t *testing.T) {
+	const w = 16
+	m := NewMonitor(w)
+	for i := 0; i < 100; i++ {
+		m.Push(stalledSample(i, 0))
+	}
+	if m.Len() != w {
+		t.Fatalf("window length %d, want %d", m.Len(), w)
+	}
+	// After the stall regime ends, a bounded monitor forgets it once the
+	// window slides past — the recency property the window buys.
+	for i := 100; i < 100+2*w; i++ {
+		m.Push(steadySample(i))
+	}
+	rec, ok := m.Current()
+	if !ok {
+		t.Fatal("no recommendation after 132 pushes")
+	}
+	want := func() Recommendation {
+		var tail []Sample
+		for i := 100 + 2*w - w; i < 100+2*w; i++ {
+			tail = append(tail, steadySample(i))
+		}
+		return Advise(tail)
+	}()
+	if rec.Scheme != want.Scheme {
+		t.Fatalf("bounded monitor %q != Advise over its window %q", rec.Scheme, want.Scheme)
+	}
+}
+
+func TestMonitorNegativeWindowIsUnbounded(t *testing.T) {
+	m := NewMonitor(-5)
+	if m.Window() != 0 {
+		t.Fatalf("Window() = %d, want 0", m.Window())
+	}
+	for i := 0; i < 50; i++ {
+		m.Push(steadySample(i))
+	}
+	if m.Len() != 50 {
+		t.Fatalf("unbounded monitor dropped samples: Len %d", m.Len())
+	}
+}
+
+func TestMonitorCurrentBeforePush(t *testing.T) {
+	m := NewMonitor(0)
+	if _, ok := m.Current(); ok {
+		t.Fatal("Current() reported a recommendation before any Push")
+	}
+}

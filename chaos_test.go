@@ -62,6 +62,53 @@ func TestChaosRobustnessMatrix(t *testing.T) {
 	}
 }
 
+// TestChaosMonitorMatchesOfflineAdvise streams each pinned scenario's EBR
+// trajectory through an unbounded advisor.Monitor — the live path the
+// Domain's background Sampler drives — and asserts it lands on the same
+// recommendation the offline Advise pins. This is the acceptance bar for
+// the streaming advisor: live monitoring must reproduce the batch
+// decision, not approximate it.
+func TestChaosMonitorMatchesOfflineAdvise(t *testing.T) {
+	for _, c := range chaos.Catalog() {
+		c := c
+		if c.WantAdvice == "" {
+			continue
+		}
+		t.Run(c.Name, func(t *testing.T) {
+			tr, err := chaos.Run(wfe.EBR, c.Scenario)
+			if err != nil {
+				t.Fatal(err)
+			}
+			samples := tr.Samples()
+			offline := advisor.Advise(samples)
+			if offline.Scheme != c.WantAdvice {
+				t.Fatalf("offline Advise recommended %q, want pinned %q", offline.Scheme, c.WantAdvice)
+			}
+			m := advisor.NewMonitor(0)
+			changes := 0
+			for _, s := range samples {
+				if _, changed := m.Push(s); changed {
+					changes++
+				}
+			}
+			live, ok := m.Current()
+			if !ok {
+				t.Fatal("monitor has no recommendation after the full trajectory")
+			}
+			if live.Scheme != offline.Scheme {
+				t.Errorf("streamed Monitor recommended %q, offline Advise %q (profile %+v)",
+					live.Scheme, offline.Scheme, live.Profile)
+			}
+			if changes == 0 {
+				t.Error("monitor never reported a change, not even the first push")
+			}
+			if changes > len(samples)/2 {
+				t.Errorf("monitor change signal flapped: %d changes over %d ticks", changes, len(samples))
+			}
+		})
+	}
+}
+
 // TestChaosStalledReaderDrains asserts the recovery half of the EBR
 // story: the backlog that accumulated behind the stalled reservation
 // drains within the trajectory once the stall lifts — unbounded growth

@@ -45,7 +45,9 @@ import (
 	"strings"
 	"time"
 
+	"wfe"
 	"wfe/internal/bench"
+	"wfe/metrics"
 )
 
 func main() {
@@ -66,6 +68,7 @@ func main() {
 		out      = flag.String("out", "BENCH_4.json", "output path for -json")
 		csv      = flag.Bool("csv", false, "CSV output instead of tables")
 		pin      = flag.Bool("pin", false, "pin workers to OS threads (paper methodology)")
+		maddr    = flag.String("metrics", "", "serve OpenMetrics/pprof on this address while sweeping (e.g. 127.0.0.1:9100)")
 	)
 	flag.Parse()
 
@@ -110,6 +113,23 @@ func main() {
 			opt.Repeat = 0
 		}
 		opt = bench.ShortOptions(opt)
+	}
+
+	if *maddr != "" {
+		// Each measured run registers its live telemetry under
+		// figure/scheme/tN; a scraper polling /metrics (or wfemon -url
+		// polling /vars) watches the sweep advance point by point, and
+		// /debug/pprof profiles carry the workers' scheme/structure/phase
+		// labels.
+		reg := metrics.NewRegistry()
+		addr, err := metrics.Serve(*maddr, reg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wfebench: serving metrics on http://%s/metrics\n", addr)
+		opt.Observe = func(label string, tel func() wfe.Telemetry) {
+			reg.Register(label, tel)
+		}
 	}
 
 	if *ablation == "scan" && *threads == "" {

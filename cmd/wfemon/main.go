@@ -1,0 +1,260 @@
+// Command wfemon is the live monitor of wfe's observability runtime: it
+// watches a running process's metrics endpoint — or replays a recorded
+// artifact — and renders a rate table plus the advisor's current scheme
+// recommendation.
+//
+// Live mode polls the /vars endpoint a -metrics flag (wfebench, wfelat,
+// wfestress) or metrics.Serve exposes:
+//
+//	wfemon -url http://127.0.0.1:9100 -interval 1s
+//	wfemon -url http://127.0.0.1:9100 -once
+//	wfemon -url http://127.0.0.1:9100 -validate   # scrape /metrics, check OpenMetrics shape
+//
+// Artifact mode reads a recorded file, dispatching on its schema field
+// like cmd/wfeadvise but rendering the trajectory as the live table
+// would have shown it:
+//
+//	wfemon chaos-out/stalled-reader-EBR.json   # wfe-chaos/v1
+//	wfemon BENCH_BASELINE.json                 # wfe-bench/v1
+//
+// Exit status: 0 on success, 1 when -validate finds a malformed
+// exposition, 2 on a usage, IO or schema error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"wfe/advisor"
+	"wfe/internal/bench"
+	"wfe/internal/chaos"
+	"wfe/metrics"
+)
+
+func main() {
+	var (
+		url      = flag.String("url", "", "base URL of a live metrics endpoint (e.g. http://127.0.0.1:9100)")
+		interval = flag.Duration("interval", time.Second, "poll interval in live mode")
+		once     = flag.Bool("once", false, "poll a single time and exit")
+		validate = flag.Bool("validate", false, "scrape /metrics once and validate the OpenMetrics exposition")
+		count    = flag.Int("count", 0, "stop after this many polls (0 = forever)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: wfemon -url http://host:port [-interval 1s] [-once] [-validate]\n")
+		fmt.Fprintf(os.Stderr, "       wfemon <artifact.json>   (schemas: %s, %s)\n", chaos.Schema, bench.ReportSchema)
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	switch {
+	case *url != "" && *validate:
+		if err := validateEndpoint(*url); err != nil {
+			fmt.Fprintf(os.Stderr, "wfemon: exposition invalid: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("OpenMetrics exposition OK")
+	case *url != "":
+		if err := live(*url, *interval, *once, *count); err != nil {
+			fmt.Fprintf(os.Stderr, "wfemon: %v\n", err)
+			os.Exit(2)
+		}
+	case flag.NArg() == 1:
+		if err := replay(flag.Arg(0)); err != nil {
+			fmt.Fprintf(os.Stderr, "wfemon: %v\n", err)
+			os.Exit(2)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// validateEndpoint scrapes /metrics and checks the exposition's shape —
+// what the CI observability job runs against a live benchmark.
+func validateEndpoint(base string) error {
+	resp, err := http.Get(strings.TrimRight(base, "/") + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	return metrics.Validate(resp.Body)
+}
+
+// live polls /vars and renders the table until interrupted (or count
+// polls have run). Errors on individual polls are transient — a tool
+// serving -metrics may not have registered its domain yet — so they
+// print and the loop continues; only a setup error aborts.
+func live(base string, interval time.Duration, once bool, count int) error {
+	base = strings.TrimRight(base, "/")
+	polls := 0
+	for {
+		vars, err := fetchVars(base)
+		if err != nil {
+			if once {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wfemon: poll: %v\n", err)
+		} else {
+			render(os.Stdout, vars)
+		}
+		polls++
+		if once || (count > 0 && polls >= count) {
+			return nil
+		}
+		time.Sleep(interval)
+	}
+}
+
+func fetchVars(base string) ([]metrics.Vars, error) {
+	resp, err := http.Get(base + "/vars")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, fmt.Errorf("GET /vars: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var vars []metrics.Vars
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		return nil, fmt.Errorf("GET /vars: %w", err)
+	}
+	return vars, nil
+}
+
+// render prints one poll's table: a row per registered domain.
+func render(w io.Writer, vars []metrics.Vars) {
+	fmt.Fprintf(w, "%s\n", time.Now().Format("15:04:05"))
+	fmt.Fprintf(w, "  %-12s %-8s %10s %10s %12s %12s %10s %8s  %s\n",
+		"domain", "scheme", "backlog", "in-use", "allocs/s", "retires/s", "scans/s", "parks/t", "advice")
+	for _, v := range vars {
+		allocRate, retireRate, scanRate, parks := "-", "-", "-", "-"
+		if v.Rates != nil {
+			allocRate = fmt.Sprintf("%.0f", v.Rates.AllocsPerSec)
+			retireRate = fmt.Sprintf("%.0f", v.Rates.RetiresPerSec)
+			scanRate = fmt.Sprintf("%.1f", v.Rates.ScansPerSec)
+			parks = fmt.Sprintf("%.2f", v.Rates.ParksPerTick)
+		}
+		advice := v.Recommendation
+		if advice == "" {
+			advice = "-"
+		}
+		fmt.Fprintf(w, "  %-12s %-8s %10d %10d %12s %12s %10s %8s  %s\n",
+			v.Domain, v.Telemetry.Scheme, v.Telemetry.Unreclaimed, v.Telemetry.InUse,
+			allocRate, retireRate, scanRate, parks, advice)
+	}
+}
+
+// replay loads a recorded artifact and renders it: the per-tick rate
+// table a live monitor would have shown, then the advisor's verdict.
+func replay(path string) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var head struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(blob, &head); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	switch head.Schema {
+	case chaos.Schema:
+		var tr chaos.Trajectory
+		if err := json.Unmarshal(blob, &tr); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		return replayChaos(&tr)
+	case bench.ReportSchema:
+		var rep bench.Report
+		if err := json.Unmarshal(blob, &rep); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		return replayBench(&rep)
+	case "":
+		return fmt.Errorf("%s: no schema field; not a wfe artifact", path)
+	default:
+		return fmt.Errorf("%s: unsupported schema %q (want %s or %s)",
+			path, head.Schema, chaos.Schema, bench.ReportSchema)
+	}
+}
+
+// replayChaos streams the trajectory through a Monitor tick by tick,
+// printing the table rows a live session would have produced (decimated
+// to at most 24 rows) and every recommendation change as it happens.
+func replayChaos(tr *chaos.Trajectory) error {
+	samples := tr.Samples()
+	if len(samples) == 0 {
+		return fmt.Errorf("trajectory has no ticks")
+	}
+	fmt.Printf("scenario %q, scheme %s, %d ticks (seed %d)\n",
+		tr.Scenario, tr.Scheme, len(tr.Ticks), tr.Seed)
+	fmt.Printf("  %6s %10s %10s %10s %8s %8s  %s\n",
+		"tick", "backlog", "scans", "p99steps", "parks", "stalled", "advice")
+	m := advisor.NewMonitor(0)
+	step := (len(samples) + 23) / 24
+	advice := ""
+	for i, s := range samples {
+		rec, changed := m.Push(s)
+		if changed {
+			advice = rec.Scheme
+		}
+		if i%step == 0 || changed || i == len(samples)-1 {
+			stalled := ""
+			if tr.Ticks[i].Stalled {
+				stalled = "yes"
+			}
+			marker := ""
+			if changed {
+				marker = "  <- advice now " + rec.Scheme
+			}
+			fmt.Printf("  %6d %10d %10d %10d %8d %8s  %s%s\n",
+				s.Tick, s.Unreclaimed, s.ScanScans, s.P99Steps, s.GuardParks, stalled, advice, marker)
+		}
+	}
+	final, _ := m.Current()
+	fmt.Printf("\nfinal recommendation: %s\n", final.Scheme)
+	for _, r := range final.Reasons {
+		fmt.Printf("  - %s\n", r)
+	}
+	fmt.Printf("summary: highwater %d (tick %d), final backlog %d, %d scans, %d parks\n",
+		tr.Summary.UnreclaimedMax, tr.Summary.UnreclaimedMaxTick,
+		tr.Summary.UnreclaimedFinal, tr.Summary.Scans, tr.Summary.Parks)
+	return nil
+}
+
+// replayBench renders a measured sweep and the sweep-advisor verdict.
+func replayBench(rep *bench.Report) error {
+	if len(rep.Figures) == 0 {
+		return fmt.Errorf("report has no figure results")
+	}
+	fmt.Printf("bench sweep: %d points, %s/%s, %d CPUs\n",
+		len(rep.Figures), rep.GOOS, rep.GOARCH, rep.NumCPU)
+	fmt.Printf("  %-12s %-8s %8s %10s %12s\n", "figure", "scheme", "threads", "Mops", "backlog-max")
+	points := make([]advisor.SweepPoint, len(rep.Figures))
+	for i, r := range rep.Figures {
+		points[i] = advisor.SweepPoint{
+			Figure:         r.Figure,
+			Scheme:         r.Scheme,
+			Threads:        r.Threads,
+			Mops:           r.Mops,
+			UnreclaimedMax: r.UnreclaimedMax,
+		}
+		fmt.Printf("  %-12s %-8s %8d %10.2f %12d\n", r.Figure, r.Scheme, r.Threads, r.Mops, r.UnreclaimedMax)
+	}
+	rec := advisor.AdviseSweep(points)
+	fmt.Printf("\nrecommendation: %s\n", rec.Scheme)
+	for _, r := range rec.Reasons {
+		fmt.Printf("  - %s\n", r)
+	}
+	return nil
+}

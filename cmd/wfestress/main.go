@@ -24,11 +24,16 @@
 // per-(scenario, scheme) trajectory as wfe-chaos/v1 JSON for artifact
 // upload and cmd/wfeadvise.
 //
+// Every mode can serve live OpenMetrics with -metrics; -churn can record
+// a Chrome trace-event artifact (wfe-trace/v1) of the guard runtime's
+// internal events with -trace.
+//
 //	wfestress -ds hashmap -scheme WFE -forceslow -threads 8 -duration 5s
 //	wfestress -ds all -scheme all -duration 2s
 //	wfestress -churn -scheme all -duration 2s
 //	wfestress -workloads -scheme all -duration 1s
 //	wfestress -chaos -scheme all -chaosdir chaos-out
+//	wfestress -churn -scheme WFE -trace churn-trace.json -metrics 127.0.0.1:9100
 package main
 
 import (
@@ -56,9 +61,25 @@ import (
 	"wfe/internal/quiesce"
 	"wfe/internal/reclaim"
 	"wfe/internal/schemes"
+	"wfe/metrics"
 )
 
 var allDS = []string{"list", "hashmap", "bst", "kpqueue", "crturn"}
+
+// metricsReg, when -metrics is serving, receives every stressed domain's
+// live telemetry; traceFile, when -trace is set, is where the churn run
+// writes its Chrome trace artifact.
+var (
+	metricsReg *metrics.Registry
+	traceFile  string
+)
+
+// observe registers a live telemetry source when -metrics is serving.
+func observe(name string, tel func() wfe.Telemetry) {
+	if metricsReg != nil {
+		metricsReg.Register(name, tel)
+	}
+}
 
 func main() {
 	var (
@@ -74,8 +95,21 @@ func main() {
 		workloads = flag.Bool("workloads", false, "storm the promoted public structures (WFQueue, TurnQueue, HashMap, Tree) through the guardless API")
 		chaosRun  = flag.Bool("chaos", false, "run the canned chaos-schedule matrix (stalled readers, preempted writers, bursty churn, oversubscription) and assert the per-scheme robustness bounds")
 		chaosDir  = flag.String("chaosdir", "", "with -chaos: directory to write per-(scenario,scheme) trajectory JSONs into")
+		maddr     = flag.String("metrics", "", "serve OpenMetrics/pprof on this address while stressing (e.g. 127.0.0.1:9100)")
+		traceOut  = flag.String("trace", "", "with -churn: record the domain's event trace and write it as Chrome trace-event JSON (wfe-trace/v1) to this file")
 	)
 	flag.Parse()
+
+	if *maddr != "" {
+		metricsReg = metrics.NewRegistry()
+		addr, err := metrics.Serve(*maddr, metricsReg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wfestress: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "wfestress: serving metrics on http://%s/metrics\n", addr)
+	}
+	traceFile = *traceOut
 
 	dss := []string{*dsName}
 	if *dsName == "all" {
@@ -241,10 +275,12 @@ func churnStress(schemeName string, threads int, duration time.Duration,
 		CleanupFreq:   4,
 		ForceSlowPath: forceSlow,
 		Debug:         true,
+		Trace:         traceFile != "",
 	})
 	if err != nil {
 		return err
 	}
+	observe("churn/"+schemeName, d.Telemetry)
 	st := wfe.NewStack[uint64](d)
 	m := wfe.NewMap[uint64](d, 64)
 
@@ -289,6 +325,20 @@ func churnStress(schemeName string, threads int, duration time.Duration,
 
 	if err := quiesce.Check(d, false); err != nil {
 		return err
+	}
+	if traceFile != "" {
+		f, ferr := os.Create(traceFile)
+		if ferr != nil {
+			return ferr
+		}
+		if werr := d.WriteTrace(f); werr != nil {
+			f.Close()
+			return werr
+		}
+		if cerr := f.Close(); cerr != nil {
+			return cerr
+		}
+		fmt.Printf("trace: wrote %d events to %s\n", len(d.TraceEvents()), traceFile)
 	}
 	tel := d.Telemetry()
 	fmt.Printf("PASS churn    %-8s: %d ops, %d goroutines over %d guards, %d acquires, %d cache hits, %d parks, %d live blocks in %v\n",
@@ -338,6 +388,7 @@ func workloadStress(dsName, schemeName string, threads int, duration time.Durati
 	if err != nil {
 		return err
 	}
+	observe(dsName+"/"+schemeName, d.Telemetry)
 	p := bench.BuildPublicKV(dsName, d, keyRange)
 	isQueue := bench.IsPublicQueue(dsName)
 
@@ -458,6 +509,9 @@ func stress(dsName, schemeName string, threads int, duration time.Duration,
 	if err != nil {
 		return err
 	}
+	observe(dsName+"/"+schemeName, func() wfe.Telemetry {
+		return bench.InternalTelemetry(schemeName, smr, a)
+	})
 
 	var kv ds.KV
 	switch dsName {

@@ -3,15 +3,18 @@ package wfe
 import (
 	"context"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"wfe/internal/guardpool"
 	"wfe/internal/mem"
 	"wfe/internal/pack"
 	"wfe/internal/reclaim"
 	"wfe/internal/schemes"
+	"wfe/internal/trace"
 )
 
 // SchemeKind selects a safe-memory-reclamation scheme for a Domain. The
@@ -141,6 +144,20 @@ type Options struct {
 	// Debug arms the arena's use-after-free and double-free detection and
 	// poisons freed blocks. Recommended in tests; costs ~2x.
 	Debug bool
+	// Trace allocates the Domain's lock-free event tracer (per-guard ring
+	// buffers recording guard, retire, scan, era and arena-segment events)
+	// and enables it from birth. Without it the trace façade reports
+	// disabled and SetTraceEnabled(true) returns false — the rings are
+	// only paid for when asked (about 40KiB per guard at DefaultDepth).
+	Trace bool
+	// TraceDepth is the per-ring record capacity, rounded up to a power of
+	// two (default trace.DefaultDepth = 1024). Older records are
+	// overwritten in place; writers never block or allocate.
+	TraceDepth int
+	// SampleEvery, when positive, auto-starts the Domain's background
+	// Sampler at that tick (see StartSampler). Stop it with
+	// Domain.Sampler().Stop() before teardown.
+	SampleEvery time.Duration
 }
 
 // A Domain[T] owns an arena of T-valued blocks and the reclamation scheme
@@ -183,6 +200,11 @@ type Domain[T any] struct {
 	cache       []cacheSlot[T]
 	cacheHits   atomic.Uint64
 	cacheMisses atomic.Uint64
+
+	// tracer is nil unless Options.Trace asked for the rings; sampler
+	// holds the Domain's background Sampler, swapped by StartSampler.
+	tracer  *trace.Tracer
+	sampler atomic.Pointer[Sampler]
 }
 
 // cacheSlot is one registry cell of the lease cache, padded so concurrent
@@ -225,16 +247,29 @@ func NewDomain[T any](opts Options) (*Domain[T], error) {
 		{"MaxAttempts", opts.MaxAttempts},
 		{"SpillSize", opts.SpillSize},
 		{"SortCutoff", opts.SortCutoff},
+		{"TraceDepth", opts.TraceDepth},
 	} {
 		if tune.v < 0 {
 			return nil, fmt.Errorf("wfe: %s %d must be non-negative (0 selects the default)", tune.name, tune.v)
 		}
+	}
+	if opts.SampleEvery < 0 {
+		return nil, fmt.Errorf("wfe: SampleEvery %v must be non-negative (0 disables the auto-started sampler)", opts.SampleEvery)
+	}
+	// The rings cost real memory (~40KiB per guard at the default depth),
+	// so they exist only on request — benchmark sweeps construct hundreds
+	// of Domains and must not pay for tracing they never enable.
+	var tracer *trace.Tracer
+	if opts.Trace {
+		tracer = trace.New(opts.MaxGuards, opts.TraceDepth)
+		tracer.SetEnabled(true)
 	}
 	arena := mem.New(mem.Config{
 		Capacity:   opts.Capacity,
 		MaxThreads: opts.MaxGuards,
 		SpillSize:  opts.SpillSize,
 		Debug:      opts.Debug,
+		Tracer:     tracer,
 	})
 	cfg := reclaim.Config{
 		MaxThreads:    opts.MaxGuards,
@@ -244,6 +279,7 @@ func NewDomain[T any](opts Options) (*Domain[T], error) {
 		MaxAttempts:   opts.MaxAttempts,
 		ForceSlowPath: opts.ForceSlowPath,
 		SortCutoff:    opts.SortCutoff,
+		Tracer:        tracer,
 	}
 	smr, err := schemes.New(opts.Scheme.String(), arena, cfg)
 	if err != nil {
@@ -256,6 +292,11 @@ func NewDomain[T any](opts Options) (*Domain[T], error) {
 		vals:   make([]T, opts.Capacity),
 		guards: guardpool.New(opts.MaxGuards),
 		cache:  make([]cacheSlot[T], opts.MaxGuards),
+		tracer: tracer,
+	}
+	d.guards.SetTracer(tracer)
+	if opts.SampleEvery > 0 {
+		d.StartSampler(SamplerConfig{Interval: opts.SampleEvery})
 	}
 	// Drop a block's value the moment it is recycled: no reader can hold a
 	// freed block (that is the reclamation invariant), and without this a
@@ -613,6 +654,96 @@ func (d *Domain[T]) ArenaCensus() ArenaCensus {
 		Capacity: c.Capacity,
 	}
 }
+
+// A TraceEvent is one decoded record from the Domain's event tracer: what
+// happened (Kind), on which guard slot (Guard, -1 for events with no owner
+// such as parks), when (TS, nanoseconds since the Domain was created), and
+// two kind-specific payload words. For scan-begin A is the retired backlog;
+// for scan-end A is blocks examined and B blocks freed; for era-advance A
+// is the new era; for segment spill/refill A is the batch size; for retire
+// A is the block handle; for guard-acquire A distinguishes freelist (0)
+// from direct handoff (1).
+type TraceEvent struct {
+	TS    int64  `json:"ts_ns"`
+	Guard int    `json:"guard"`
+	Kind  string `json:"kind"`
+	A     uint64 `json:"a"`
+	B     uint64 `json:"b"`
+}
+
+// TraceEnabled reports whether the Domain's event tracer exists and is
+// currently recording.
+func (d *Domain[T]) TraceEnabled() bool { return d.tracer.Enabled() }
+
+// SetTraceEnabled pauses or resumes event recording, reporting whether the
+// Domain has a tracer at all. It returns false — and does nothing — when
+// the Domain was built without Options.Trace: the rings are allocated at
+// construction or never.
+func (d *Domain[T]) SetTraceEnabled(on bool) bool {
+	if d.tracer == nil {
+		return false
+	}
+	d.tracer.SetEnabled(on)
+	return true
+}
+
+// TraceEvents snapshots the tracer's ring buffers without stopping
+// writers, returning the retained events in timestamp order (nil without
+// Options.Trace). Each ring keeps the most recent TraceDepth records per
+// guard; older events have been overwritten.
+func (d *Domain[T]) TraceEvents() []TraceEvent {
+	if d.tracer == nil {
+		return nil
+	}
+	recs := d.tracer.Snapshot()
+	out := make([]TraceEvent, len(recs))
+	for i, r := range recs {
+		out[i] = TraceEvent{TS: r.TS, Guard: r.Tid, Kind: r.Kind.String(), A: r.A, B: r.B}
+	}
+	return out
+}
+
+// WriteTrace snapshots the tracer and writes the events as Chrome
+// trace-event JSON (schema "wfe-trace/v1") — load the file at
+// chrome://tracing or https://ui.perfetto.dev. Without Options.Trace it
+// writes an empty trace.
+func (d *Domain[T]) WriteTrace(w io.Writer) error {
+	var recs []trace.Record
+	if d.tracer != nil {
+		recs = d.tracer.Snapshot()
+	}
+	return trace.WriteChrome(w, recs)
+}
+
+// StartSampler starts the Domain's background Sampler, the streaming tier
+// of its observability: a goroutine collecting Sample rows at cfg.Interval
+// into a bounded history, deriving rate EWMAs, and keeping a live
+// advisor recommendation current (see Sampler). At most one sampler runs
+// per Domain: while one is running, StartSampler returns it untouched
+// (idempotent); after Stop, a new call starts a fresh one. Stop the
+// sampler before letting the Domain go out of scope or its goroutine —
+// and the Domain it samples — stay live forever.
+func (d *Domain[T]) StartSampler(cfg SamplerConfig) *Sampler {
+	for {
+		if cur := d.sampler.Load(); cur != nil && cur.Running() {
+			return cur
+		} else {
+			s := newSampler(d.Sample, cfg)
+			if d.sampler.CompareAndSwap(cur, s) {
+				s.run()
+				return s
+			}
+			// Lost the race; the winner's sampler (or a newly observed
+			// running one) is picked up on the next iteration. Ours never
+			// started: nothing to stop.
+		}
+	}
+}
+
+// Sampler returns the Domain's most recently started Sampler, or nil if
+// StartSampler (or Options.SampleEvery) never ran. The returned sampler
+// may already be stopped; check Running.
+func (d *Domain[T]) Sampler() *Sampler { return d.sampler.Load() }
 
 // A Ref[T] is a typed reference to a block of its Domain, possibly carrying
 // a mark bit (see WithMark). The zero Ref is nil. Refs are plain values:

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"wfe"
 )
@@ -46,6 +47,54 @@ func ExampleDomain() {
 	// world
 	// answer
 	// unreclaimed: true
+}
+
+// ExampleDomain_StartSampler runs the background observability sampler:
+// one goroutine collecting the allocation-free Domain.Sample row every
+// Interval, deriving EWMA rates and streaming the rows through the live
+// scheme advisor. Production code would set SamplerConfig.OnRecommendation
+// (or poll Rates) instead of sleeping.
+func ExampleDomain_StartSampler() {
+	d, err := wfe.NewDomain[uint64](wfe.Options{Capacity: 1 << 12})
+	if err != nil {
+		panic(err)
+	}
+	s := d.StartSampler(wfe.SamplerConfig{Interval: time.Millisecond})
+
+	// Churn concurrently so the sampler's ticks see allocation deltas.
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		st := wfe.NewStack[uint64](d)
+		for i := uint64(0); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				st.Push(i)
+				st.Pop()
+			}
+		}
+	}()
+	for s.Ticks() < 5 { // let a few rows accumulate
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	<-done
+
+	rates := s.Rates()
+	rec, ok := s.Recommendation()
+	fmt.Println("sampled rows:", s.Ticks() >= 5)
+	fmt.Println("alloc rate seen:", rates.AllocsPerSec > 0)
+	fmt.Println("advice:", ok, rec.Scheme != "")
+	s.Stop()
+	fmt.Println("running after Stop:", s.Running())
+	// Output:
+	// sampled rows: true
+	// alloc rate seen: true
+	// advice: true true
+	// running after Stop: false
 }
 
 // ExampleStack: the guardless stack methods are safe from any number of

@@ -6,14 +6,17 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"wfe"
 	"wfe/internal/core"
 	"wfe/internal/ds"
 	"wfe/internal/ds/bst"
@@ -102,6 +105,12 @@ type Options struct {
 	// LinearScan pins every scheme's cleanup to the pre-overhaul O(R×G)
 	// linear reservation sweep — the reference arm of the scan ablation.
 	LinearScan bool
+	// Observe, when non-nil, is called at the start of every measured run
+	// with a label ("figure/scheme/tN") and a live telemetry closure that
+	// stays valid for the run and afterwards (the counters freeze when the
+	// run ends). cmd/wfebench's -metrics flag registers each closure with
+	// a metrics.Registry so a scraper watches the sweep point by point.
+	Observe func(label string, tel func() wfe.Telemetry)
 }
 
 // Defaults fills unset fields.
@@ -242,6 +251,41 @@ func arenaCapacity(exp Experiment, scheme string, opt Options, threads int) int 
 	return capacity
 }
 
+// InternalTelemetry adapts an internal-harness (scheme, arena) pair to
+// the public wfe.Telemetry census so the export tier can serve harness
+// runs the same way it serves Domains. The guard-runtime counters stay
+// zero: the internal harness drives schemes by raw tid, with no guard
+// pool above them.
+func InternalTelemetry(name string, smr reclaim.Scheme, a *mem.Arena) wfe.Telemetry {
+	st := a.Stats()
+	probe := smr.Retirer().Probe()
+	t := wfe.Telemetry{
+		Scheme:      name,
+		MaxSteps:    probe.MaxSteps,
+		P99Steps:    probe.P99Steps,
+		Unreclaimed: probe.Unreclaimed,
+		Allocs:      st.Allocs,
+		Frees:       st.Frees,
+		InUse:       st.InUse,
+		Capacity:    a.Capacity(),
+
+		ScanScans:  probe.Scans.Scans,
+		ScanBlocks: probe.Scans.Blocks,
+		ScanNanos:  probe.Scans.Nanos,
+
+		ArenaSegPushes:     st.SegPushes,
+		ArenaSegPops:       st.SegPops,
+		ArenaBumpHighwater: st.Bumped,
+	}
+	if e, ok := smr.(interface{ Era() uint64 }); ok {
+		t.Era = e.Era()
+	}
+	if s, ok := smr.(interface{ SlowPaths() uint64 }); ok {
+		t.SlowPaths = s.SlowPaths()
+	}
+	return t
+}
+
 func runOne(exp Experiment, schemeName string, threads int, opt Options) Result {
 	a := mem.New(mem.Config{
 		Capacity:   arenaCapacity(exp, schemeName, opt, threads),
@@ -257,6 +301,10 @@ func runOne(exp Experiment, schemeName string, threads int, opt Options) Result 
 	})
 	if err != nil {
 		panic(err)
+	}
+	if opt.Observe != nil {
+		opt.Observe(fmt.Sprintf("%s/%s/t%d", exp.ID, schemeName, threads),
+			func() wfe.Telemetry { return InternalTelemetry(schemeName, smr, a) })
 	}
 	kv := buildKV(exp.DS, smr, threads, opt.KeyRange)
 
@@ -321,40 +369,50 @@ func runOne(exp Experiment, schemeName string, threads int, opt Options) Result 
 					stop.Store(true)
 				}
 			}()
+			// pprof labels tag every profile sample a -metrics scrape
+			// collects with which sweep point it belongs to.
+			phase := "measure"
 			if tid < opt.StallThreads {
-				smr.Begin(tid)
-				smr.GetProtected(tid, &stallRoot, 0, 0)
+				phase = "stalled"
+			}
+			pprof.Do(context.Background(), pprof.Labels(
+				"scheme", schemeName, "structure", exp.DS, "phase", phase,
+			), func(context.Context) {
+				if tid < opt.StallThreads {
+					smr.Begin(tid)
+					smr.GetProtected(tid, &stallRoot, 0, 0)
+					for !stop.Load() {
+						time.Sleep(time.Millisecond)
+						if time.Since(start) > opt.Duration {
+							stop.Store(true)
+						}
+					}
+					smr.Clear(tid)
+					return
+				}
+				ops := uint64(0)
+				r := rand.New(rand.NewSource(int64(tid)*7919 + 1))
+				w := exp.Workload
 				for !stop.Load() {
-					time.Sleep(time.Millisecond)
-					if time.Since(start) > opt.Duration {
+					key := uint64(r.Int63n(int64(opt.KeyRange)))
+					pick := r.Intn(100)
+					switch {
+					case pick < w.Insert:
+						kv.Insert(tid, key)
+					case pick < w.Insert+w.Delete:
+						kv.Delete(tid, key)
+					case pick < w.Insert+w.Delete+w.GetPct:
+						kv.Get(tid, key)
+					default:
+						kv.Put(tid, key)
+					}
+					ops++
+					if ops&63 == 0 && time.Since(start) > opt.Duration {
 						stop.Store(true)
 					}
 				}
-				smr.Clear(tid)
-				return
-			}
-			ops := uint64(0)
-			r := rand.New(rand.NewSource(int64(tid)*7919 + 1))
-			w := exp.Workload
-			for !stop.Load() {
-				key := uint64(r.Int63n(int64(opt.KeyRange)))
-				pick := r.Intn(100)
-				switch {
-				case pick < w.Insert:
-					kv.Insert(tid, key)
-				case pick < w.Insert+w.Delete:
-					kv.Delete(tid, key)
-				case pick < w.Insert+w.Delete+w.GetPct:
-					kv.Get(tid, key)
-				default:
-					kv.Put(tid, key)
-				}
-				ops++
-				if ops&63 == 0 && time.Since(start) > opt.Duration {
-					stop.Store(true)
-				}
-			}
-			opsByTid[tid] = ops
+				opsByTid[tid] = ops
+			})
 		}(w)
 	}
 	wg.Wait()

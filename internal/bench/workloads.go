@@ -179,6 +179,9 @@ func runPublicWorkload(dsName, figure, schemeName string, goroutines int, opt Op
 	if err != nil {
 		panic(err)
 	}
+	if opt.Observe != nil {
+		opt.Observe(fmt.Sprintf("%s/%s/t%d", dsName, schemeName, goroutines), d.Telemetry)
+	}
 	kv := BuildPublicKV(dsName, d, opt.KeyRange)
 
 	// Prefill: queues get opt.Prefill enqueues, search structures

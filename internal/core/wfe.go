@@ -33,6 +33,7 @@ import (
 	"wfe/internal/mem"
 	"wfe/internal/pack"
 	"wfe/internal/reclaim"
+	"wfe/internal/trace"
 )
 
 // slowSlot is the paper's state_s: one helping request per reservation.
@@ -234,9 +235,11 @@ func (w *WFE) incrementEra(tid int) {
 			}
 		}
 	}
-	if w.globalEra.Add(1) >= pack.MaxEra {
+	era := w.globalEra.Add(1)
+	if era >= pack.MaxEra {
 		panic("wfe: era clock exhausted (2^38 increments); see pack's width accounting")
 	}
+	w.cfg.Tracer.Emit(tid, trace.KindEraAdvance, era, 0)
 }
 
 // helpThread completes thread i's request at reservation j on its behalf

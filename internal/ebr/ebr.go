@@ -22,6 +22,7 @@ import (
 
 	"wfe/internal/mem"
 	"wfe/internal/reclaim"
+	"wfe/internal/trace"
 )
 
 // announcement encoding: epoch<<1 | active.
@@ -102,7 +103,7 @@ func (e *EBR) Clear(tid int) {
 func (e *EBR) Alloc(tid int) mem.Handle {
 	t := &e.threads[tid]
 	if t.allocCount%uint64(e.cfg.EraFreq) == 0 {
-		e.tryAdvance()
+		e.tryAdvance(tid)
 	}
 	t.allocCount++
 	return e.arena.Alloc(tid)
@@ -118,7 +119,7 @@ func (e *EBR) Retire(tid int, blk mem.Handle) {
 // tryAdvance bumps the global epoch iff every active thread has announced
 // it. This is the blocking step: a stalled active announcement pins the
 // epoch forever.
-func (e *EBR) tryAdvance() {
+func (e *EBR) tryAdvance(tid int) {
 	cur := e.globalEpoch.Load()
 	for i := 0; i < e.cfg.MaxThreads; i++ {
 		a := e.ann(i).Load()
@@ -126,13 +127,15 @@ func (e *EBR) tryAdvance() {
 			return
 		}
 	}
-	e.globalEpoch.CompareAndSwap(cur, cur+1)
+	if e.globalEpoch.CompareAndSwap(cur, cur+1) {
+		e.cfg.Tracer.Emit(tid, trace.KindEraAdvance, cur+1, 0)
+	}
 }
 
 // PreScan implements reclaim.PreScanner: attempt an epoch advance right
 // before each gated cleanup scan, so retire-heavy phases keep the clock
 // moving.
-func (e *EBR) PreScan(tid int, blk mem.Handle) { e.tryAdvance() }
+func (e *EBR) PreScan(tid int, blk mem.Handle) { e.tryAdvance(tid) }
 
 // Gather implements reclaim.Judge. EBR gathers no reservations — the
 // grace-period test needs only the scan's epoch, stashed as a scalar.

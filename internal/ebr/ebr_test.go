@@ -18,25 +18,25 @@ func TestEpochAdvanceRequiresAllActiveCurrent(t *testing.T) {
 	ep := e.Epoch()
 
 	e.Begin(0) // announces current epoch
-	e.tryAdvance()
+	e.tryAdvance(0)
 	if e.Epoch() != ep+1 {
 		t.Fatalf("epoch = %d, want %d (all active threads current)", e.Epoch(), ep+1)
 	}
 
 	// Thread 0 is now active on the *old* epoch: the clock must stick.
-	e.tryAdvance()
+	e.tryAdvance(0)
 	if e.Epoch() != ep+1 {
 		t.Fatalf("epoch advanced past a lagging active thread")
 	}
 
 	e.Begin(0) // re-announce at the new epoch
-	e.tryAdvance()
+	e.tryAdvance(0)
 	if e.Epoch() != ep+2 {
 		t.Fatalf("epoch = %d, want %d", e.Epoch(), ep+2)
 	}
 
 	e.Clear(0) // quiescent threads do not block the clock
-	e.tryAdvance()
+	e.tryAdvance(0)
 	if e.Epoch() != ep+3 {
 		t.Fatalf("epoch = %d, want %d after thread went quiescent", e.Epoch(), ep+3)
 	}

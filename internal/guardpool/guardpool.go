@@ -30,6 +30,8 @@ import (
 	"context"
 	"sync/atomic"
 	"time"
+
+	"wfe/internal/trace"
 )
 
 // emptyIdx is the freelist terminator: no next slot / empty pool.
@@ -63,7 +65,16 @@ type Pool struct {
 
 	acquires atomic.Uint64
 	parks    atomic.Uint64
+
+	// tracer, when set before use, receives guard lifecycle events
+	// (acquire, park, cancel). Nil costs one branch per event site.
+	tracer *trace.Tracer
 }
+
+// SetTracer installs the lifecycle event tracer. Call before the pool is
+// shared between goroutines (the field is written once, read racily
+// thereafter by design: the tracer pointer never changes after setup).
+func (p *Pool) SetTracer(t *trace.Tracer) { p.tracer = t }
 
 // New creates a pool holding the ids 0..n-1, popping in ascending order
 // from a full pool.
@@ -115,12 +126,14 @@ func (p *Pool) pop() (int, bool) {
 func (p *Pool) TryAcquire() (int, bool) {
 	if tid, ok := p.pop(); ok {
 		p.acquires.Add(1)
+		p.tracer.Emit(tid, trace.KindGuardAcquire, trace.AcquireFreelist, 0)
 		return tid, true
 	}
 	if p.waiters.Load() == 0 {
 		select {
 		case tid := <-p.hand:
 			p.acquires.Add(1)
+			p.tracer.Emit(tid, trace.KindGuardAcquire, trace.AcquireHandoff, 0)
 			return tid, true
 		default:
 		}
@@ -186,6 +199,7 @@ func (p *Pool) Acquire(ctx context.Context, spare func() (int, bool)) (int, erro
 		if spare != nil {
 			if tid, ok := spare(); ok {
 				p.acquires.Add(1)
+				p.tracer.Emit(tid, trace.KindGuardAcquire, trace.AcquireFreelist, 0)
 				return tid, nil
 			}
 		}
@@ -197,9 +211,11 @@ func (p *Pool) Acquire(ctx context.Context, spare func() (int, bool)) (int, erro
 		if tid, ok := p.pop(); ok {
 			p.waiters.Add(-1)
 			p.acquires.Add(1)
+			p.tracer.Emit(tid, trace.KindGuardAcquire, trace.AcquireFreelist, 0)
 			return tid, nil
 		}
 		p.parks.Add(1)
+		p.tracer.Emit(trace.SharedTid, trace.KindGuardPark, 0, 0)
 		if timer == nil {
 			timer = time.NewTimer(backoff)
 		} else {
@@ -209,6 +225,7 @@ func (p *Pool) Acquire(ctx context.Context, spare func() (int, bool)) (int, erro
 		case tid := <-p.hand:
 			p.waiters.Add(-1)
 			p.acquires.Add(1)
+			p.tracer.Emit(tid, trace.KindGuardAcquire, trace.AcquireHandoff, 0)
 			return tid, nil
 		case <-timer.C:
 			if backoff *= 2; backoff > parkBackoffMax {
@@ -216,6 +233,7 @@ func (p *Pool) Acquire(ctx context.Context, spare func() (int, bool)) (int, erro
 			}
 		case <-ctx.Done():
 			p.waiters.Add(-1)
+			p.tracer.Emit(trace.SharedTid, trace.KindGuardCancel, 0, 0)
 			return 0, ctx.Err()
 		}
 		p.waiters.Add(-1)

@@ -21,6 +21,7 @@ import (
 	"wfe/internal/mem"
 	"wfe/internal/pack"
 	"wfe/internal/reclaim"
+	"wfe/internal/trace"
 )
 
 type threadState struct {
@@ -116,7 +117,7 @@ func (h *HE) MaxSteps() uint64 { return h.rt.MaxSteps() }
 func (h *HE) Alloc(tid int) mem.Handle {
 	t := &h.threads[tid]
 	if t.allocCount%uint64(h.cfg.EraFreq) == 0 {
-		h.advanceEra()
+		h.advanceEra(tid)
 	}
 	t.allocCount++
 	blk := h.arena.Alloc(tid)
@@ -137,15 +138,17 @@ func (h *HE) Retire(tid int, blk mem.Handle) {
 // equals the global era.
 func (h *HE) PreScan(tid int, blk mem.Handle) {
 	if h.arena.RetireEra(blk) == h.globalEra.Load() {
-		h.advanceEra()
+		h.advanceEra(tid)
 	}
 }
 
 // advanceEra bumps the clock, guarding the 38-bit packing bound.
-func (h *HE) advanceEra() {
-	if h.globalEra.Add(1) >= pack.MaxEra {
+func (h *HE) advanceEra(tid int) {
+	era := h.globalEra.Add(1)
+	if era >= pack.MaxEra {
 		panic("he: era clock exhausted (2^38 increments); see pack's width accounting")
 	}
+	h.cfg.Tracer.Emit(tid, trace.KindEraAdvance, era, 0)
 }
 
 // Clear implements the paper's clear; only indices used since the previous

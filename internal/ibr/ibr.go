@@ -26,6 +26,7 @@ import (
 	"wfe/internal/mem"
 	"wfe/internal/pack"
 	"wfe/internal/reclaim"
+	"wfe/internal/trace"
 )
 
 type threadState struct {
@@ -128,7 +129,7 @@ func (ib *IBR) Clear(tid int) {
 func (ib *IBR) Alloc(tid int) mem.Handle {
 	t := &ib.threads[tid]
 	if t.allocCount%uint64(ib.cfg.EraFreq) == 0 {
-		ib.advanceEra()
+		ib.advanceEra(tid)
 	}
 	t.allocCount++
 	blk := ib.arena.Alloc(tid)
@@ -148,15 +149,17 @@ func (ib *IBR) Retire(tid int, blk mem.Handle) {
 // allocations still make reclamation progress.
 func (ib *IBR) OnRetire(tid int, n uint64, blk mem.Handle) {
 	if n%uint64(ib.cfg.EraFreq) == 0 {
-		ib.advanceEra()
+		ib.advanceEra(tid)
 	}
 }
 
 // advanceEra bumps the clock, guarding the 38-bit packing bound.
-func (ib *IBR) advanceEra() {
-	if ib.globalEra.Add(1) >= pack.MaxEra {
+func (ib *IBR) advanceEra(tid int) {
+	era := ib.globalEra.Add(1)
+	if era >= pack.MaxEra {
 		panic("ibr: era clock exhausted (2^38 increments); see pack's width accounting")
 	}
+	ib.cfg.Tracer.Emit(tid, trace.KindEraAdvance, era, 0)
 }
 
 // Gather implements reclaim.Judge: snapshot the open reservation intervals

@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 
 	"wfe/internal/pack"
+	"wfe/internal/trace"
 )
 
 // Handle references an arena slot. 0 is nil; values 1..Capacity are slots.
@@ -98,6 +99,9 @@ type Config struct {
 	SpillSize int
 	// Debug enables state checking and poisoning on every access.
 	Debug bool
+	// Tracer, when non-nil, receives segment spill/refill events. A nil
+	// or disabled tracer costs one branch per segment transfer.
+	Tracer *trace.Tracer
 }
 
 // Arena is a bounded slab of slots with per-thread free caches, a global
@@ -112,6 +116,7 @@ type Arena struct {
 	spillSize int
 	debug     bool
 	freeHook  func(h Handle)
+	tracer    *trace.Tracer
 	segPushes atomic.Uint64
 	segPops   atomic.Uint64
 }
@@ -137,6 +142,7 @@ func New(cfg Config) *Arena {
 		cap:       uint64(cfg.Capacity),
 		spillSize: cfg.SpillSize,
 		debug:     cfg.Debug,
+		tracer:    cfg.Tracer,
 	}
 }
 
@@ -163,7 +169,7 @@ func (a *Arena) slot(h Handle) *slot {
 func (a *Arena) Alloc(tid int) Handle {
 	t := &a.threads[tid]
 	if t.freeHead == 0 {
-		a.refill(t)
+		a.refill(tid, t)
 	}
 	if h := t.freeHead; h != 0 {
 		s := a.slot(h)
@@ -221,7 +227,7 @@ func (a *Arena) Free(tid int, h Handle) {
 	s.state.Store(slotFree)
 	t := &a.threads[tid]
 	if t.freeLen >= 2*a.spillSize {
-		a.spillSegment(t)
+		a.spillSegment(tid, t)
 	}
 	s.nextFree = t.freeHead
 	t.freeHead = h
@@ -239,7 +245,7 @@ func (a *Arena) Free(tid int, h Handle) {
 // spillSegment cuts the oldest spillSize slots off tid's free cache —
 // everything past the spillSize most recently freed — and pushes them to
 // the global list as one segment.
-func (a *Arena) spillSegment(t *threadMem) {
+func (a *Arena) spillSegment(tid int, t *threadMem) {
 	cut := a.slot(t.freeHead)
 	for i := 1; i < a.spillSize; i++ {
 		cut = a.slot(cut.nextFree)
@@ -254,6 +260,7 @@ func (a *Arena) spillSegment(t *threadMem) {
 		next := (old>>pack.HandleBits+1)<<pack.HandleBits | head
 		if a.global.CompareAndSwap(old, next) {
 			a.segPushes.Add(1)
+			a.tracer.Emit(tid, trace.KindSegSpill, uint64(n), 0)
 			return
 		}
 	}
@@ -264,7 +271,7 @@ func (a *Arena) spillSegment(t *threadMem) {
 // pop/recycle/re-push of the observed head slot, but any such cycle
 // advances the head stamp, so the CAS only succeeds when the read was of
 // the current cycle.
-func (a *Arena) refill(t *threadMem) {
+func (a *Arena) refill(tid int, t *threadMem) {
 	for {
 		old := a.global.Load()
 		h := old & pack.HandleMask
@@ -277,6 +284,7 @@ func (a *Arena) refill(t *threadMem) {
 			t.freeHead = h
 			t.freeLen = int(meta >> pack.HandleBits)
 			a.segPops.Add(1)
+			a.tracer.Emit(tid, trace.KindSegRefill, uint64(t.freeLen), 0)
 			return
 		}
 	}

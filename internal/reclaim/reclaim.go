@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 
 	"wfe/internal/mem"
+	"wfe/internal/trace"
 )
 
 // Scheme is a universal memory reclamation scheme.
@@ -90,6 +91,10 @@ type Config struct {
 	// crossover Calibrate measures once per process; the two tests are
 	// property-tested equivalent, so the value is purely a cost choice.
 	SortCutoff int
+	// Tracer, when non-nil, receives reclamation lifecycle events
+	// (retire, scan begin/end, era advances). A nil or disabled tracer
+	// costs one branch per event site.
+	Tracer *trace.Tracer
 }
 
 // Defaults fills unset fields with the paper's evaluation parameters.

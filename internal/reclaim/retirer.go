@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"wfe/internal/mem"
+	"wfe/internal/trace"
 )
 
 // A Judge is the scheme-specific half of a cleanup scan. The runtime calls
@@ -101,6 +102,7 @@ type Retirer struct {
 	cleanupFreq uint64
 	linearScan  bool
 	cutoff      int
+	tracer      *trace.Tracer
 
 	threads []retireThread
 }
@@ -116,6 +118,7 @@ func NewRetirer(arena *mem.Arena, cfg Config, judge Judge) *Retirer {
 		cleanupFreq: uint64(cfg.CleanupFreq),
 		linearScan:  cfg.LinearScan,
 		cutoff:      cfg.SortCutoff,
+		tracer:      cfg.Tracer,
 		threads:     make([]retireThread, cfg.MaxThreads),
 	}
 	if judge != nil {
@@ -149,6 +152,7 @@ func (r *Retirer) Cutoff() int { return r.cutoff }
 // retire() which scans when the counter is a CleanupFreq multiple.
 func (r *Retirer) Retire(tid int, blk mem.Handle) {
 	t := &r.threads[tid]
+	r.tracer.Emit(tid, trace.KindRetire, blk, 0)
 	if r.judge == nil {
 		t.count++
 		t.ring.published.Add(1) // leaked, by design; nothing is stored
@@ -200,6 +204,8 @@ func (r *Retirer) Scan(tid int) {
 		return
 	}
 	start := time.Now()
+	r.tracer.Emit(tid, trace.KindScanBegin, uint64(n), 0)
+	freed := uint64(0)
 
 	s := &t.snap
 	s.reset()
@@ -217,6 +223,7 @@ func (r *Retirer) Scan(tid int) {
 			survivors = append(survivors, blk)
 		default:
 			r.arena.Free(tid, blk)
+			freed++
 		}
 	}
 	if second {
@@ -227,6 +234,7 @@ func (r *Retirer) Scan(tid int) {
 		for _, blk := range survivors {
 			if r.two.CanFree(tid, s2, blk) {
 				r.arena.Free(tid, blk)
+				freed++
 			} else {
 				t.ring.push(blk)
 			}
@@ -240,6 +248,7 @@ func (r *Retirer) Scan(tid int) {
 	atomic.AddUint64(&t.stats.Scans, 1)
 	atomic.AddUint64(&t.stats.Blocks, uint64(n))
 	atomic.AddUint64(&t.stats.Nanos, uint64(time.Since(start)))
+	r.tracer.Emit(tid, trace.KindScanEnd, uint64(n), freed)
 }
 
 // Unreclaimed reports the retired-but-not-yet-freed block count across all

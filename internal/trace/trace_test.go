@@ -1,0 +1,198 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestNilAndDisabledEmitAreNoOps(t *testing.T) {
+	var nilT *Tracer
+	nilT.Emit(0, KindRetire, 1, 2) // must not panic
+	if nilT.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	if got := nilT.Snapshot(); got != nil {
+		t.Fatalf("nil tracer snapshot = %v, want nil", got)
+	}
+
+	tr := New(2, 8)
+	tr.Emit(0, KindRetire, 1, 2) // disabled: dropped
+	if got := len(tr.Snapshot()); got != 0 {
+		t.Fatalf("disabled tracer recorded %d events, want 0", got)
+	}
+	tr.SetEnabled(true)
+	tr.Emit(0, KindRetire, 1, 2)
+	if got := len(tr.Snapshot()); got != 1 {
+		t.Fatalf("enabled tracer recorded %d events, want 1", got)
+	}
+	tr.SetEnabled(false)
+	tr.Emit(0, KindRetire, 3, 4)
+	if got := len(tr.Snapshot()); got != 1 {
+		t.Fatalf("re-disabled tracer recorded %d events, want 1", got)
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	tr := New(1, 4) // depth rounds to 4
+	tr.SetEnabled(true)
+	for i := uint64(0); i < 10; i++ {
+		tr.Emit(0, KindRetire, i, 0)
+	}
+	recs := tr.Snapshot()
+	if len(recs) != 4 {
+		t.Fatalf("snapshot holds %d records, want 4 (ring depth)", len(recs))
+	}
+	// Oldest six were overwritten; the survivors are 6..9 in order.
+	for i, r := range recs {
+		if want := uint64(6 + i); r.A != want {
+			t.Fatalf("record %d payload = %d, want %d", i, r.A, want)
+		}
+		if r.Tid != 0 || r.Kind != KindRetire {
+			t.Fatalf("record %d = %+v, want tid 0 kind retire", i, r)
+		}
+	}
+}
+
+func TestSharedRingTakesUnownedTids(t *testing.T) {
+	tr := New(2, 8)
+	tr.SetEnabled(true)
+	tr.Emit(SharedTid, KindGuardPark, 0, 0)
+	tr.Emit(99, KindGuardCancel, 0, 0) // out of range -> shared ring too
+	recs := tr.Snapshot()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	for _, r := range recs {
+		if r.Tid != SharedTid && r.Tid != 99 {
+			t.Fatalf("unexpected tid %d", r.Tid)
+		}
+	}
+}
+
+func TestTimestampsMonotonePerTid(t *testing.T) {
+	tr := New(1, 64)
+	tr.SetEnabled(true)
+	for i := 0; i < 32; i++ {
+		tr.Emit(0, KindRetire, uint64(i), 0)
+	}
+	recs := tr.Snapshot()
+	for i := 1; i < len(recs); i++ {
+		if recs[i].TS < recs[i-1].TS {
+			t.Fatalf("timestamps not sorted: %d before %d", recs[i-1].TS, recs[i].TS)
+		}
+	}
+}
+
+// TestSnapshotDuringConcurrentWriters hammers every ring (including the
+// shared one) from concurrent writers while snapshotting continuously.
+// Under -race this is the proof that readers never touch a slot
+// non-atomically; the assertions check that every decoded record is
+// well-formed, never torn into an invalid kind or foreign payload.
+func TestSnapshotDuringConcurrentWriters(t *testing.T) {
+	const (
+		writers = 4
+		events  = 20000
+	)
+	tr := New(writers, 64) // tiny rings: constant wrap pressure
+	tr.SetEnabled(true)
+	var writersWG, readerWG sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(tid int) {
+			defer writersWG.Done()
+			for i := 0; i < events; i++ {
+				tr.Emit(tid, KindRetire, uint64(tid), uint64(i))
+				tr.Emit(SharedTid, KindGuardPark, uint64(tid), 0)
+			}
+		}(w)
+	}
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, r := range tr.Snapshot() {
+				if r.Kind == KindInvalid || r.Kind >= kindCount {
+					t.Errorf("torn record: kind %d", r.Kind)
+					return
+				}
+				if r.Kind == KindRetire && r.Tid >= 0 && r.A != uint64(r.Tid) {
+					t.Errorf("foreign payload on tid %d: %+v", r.Tid, r)
+					return
+				}
+			}
+		}
+	}()
+	writersWG.Wait()
+	close(stop)
+	readerWG.Wait()
+}
+
+func TestWriteChrome(t *testing.T) {
+	tr := New(1, 16)
+	tr.SetEnabled(true)
+	tr.Emit(0, KindScanBegin, 12, 0)
+	tr.Emit(0, KindRetire, 7, 0)
+	tr.Emit(0, KindScanEnd, 12, 5)
+	tr.Emit(SharedTid, KindGuardPark, 0, 0)
+
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, tr.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Schema string `json:"schema"`
+		Events []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			TS   float64           `json:"ts"`
+			Tid  int               `json:"tid"`
+			Args map[string]uint64 `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if decoded.Schema != Schema {
+		t.Fatalf("schema = %q, want %q", decoded.Schema, Schema)
+	}
+	if len(decoded.Events) != 4 {
+		t.Fatalf("got %d events, want 4", len(decoded.Events))
+	}
+	var sawB, sawE bool
+	for _, ev := range decoded.Events {
+		switch {
+		case ev.Name == "scan" && ev.Ph == "B":
+			sawB = true
+			if ev.Args["backlog"] != 12 {
+				t.Fatalf("scan B args = %v", ev.Args)
+			}
+		case ev.Name == "scan" && ev.Ph == "E":
+			sawE = true
+			if ev.Args["freed"] != 5 {
+				t.Fatalf("scan E args = %v", ev.Args)
+			}
+		}
+	}
+	if !sawB || !sawE {
+		t.Fatalf("missing scan span: B=%v E=%v", sawB, sawE)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := KindInvalid; k < kindCount; k++ {
+		if k.String() == "" || k.String() == "unknown" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if Kind(200).String() != "unknown" {
+		t.Fatal("out-of-range kind must stringify as unknown")
+	}
+}

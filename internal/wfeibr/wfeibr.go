@@ -38,6 +38,7 @@ import (
 	"wfe/internal/mem"
 	"wfe/internal/pack"
 	"wfe/internal/reclaim"
+	"wfe/internal/trace"
 )
 
 // interval is a padded [lower, upper] reservation.
@@ -242,9 +243,11 @@ func (w *WFEIBR) incrementEra(tid int) {
 			}
 		}
 	}
-	if w.globalEra.Add(1) >= pack.MaxEra {
+	era := w.globalEra.Add(1)
+	if era >= pack.MaxEra {
 		panic("wfeibr: era clock exhausted (2^38 increments); see pack's width accounting")
 	}
+	w.cfg.Tracer.Emit(tid, trace.KindEraAdvance, era, 0)
 }
 
 // helpThread completes thread i's pending protected read.

@@ -1,0 +1,33 @@
+package metrics_test
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"wfe"
+	"wfe/metrics"
+)
+
+// ExampleRegistry shows the three-line path from a Domain to a scrapeable
+// OpenMetrics endpoint: register the Domain's Telemetry method, attach
+// its background sampler if one runs, and serve the handler.
+func ExampleRegistry() {
+	d, _ := wfe.NewDomain[int](wfe.Options{Capacity: 1 << 16})
+	s := d.StartSampler(wfe.SamplerConfig{Interval: 5 * time.Millisecond})
+	defer s.Stop()
+
+	reg := metrics.NewRegistry()
+	reg.Register("app", d.Telemetry)
+	reg.RegisterSampler("app", s)
+
+	// In production: addr, _ := metrics.Serve("127.0.0.1:9100", reg)
+	// and point a Prometheus scraper at http://<addr>/metrics.
+	var _ http.Handler = reg.Handler()
+
+	var buf strings.Builder
+	_ = reg.WriteOpenMetrics(&buf)
+	fmt.Println(metrics.Validate(strings.NewReader(buf.String())) == nil)
+	// Output: true
+}

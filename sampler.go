@@ -1,0 +1,217 @@
+package wfe
+
+import (
+	"sync"
+	"time"
+
+	"wfe/advisor"
+)
+
+// SamplerConfig configures a Domain's background Sampler. The zero value
+// is usable: a 10ms tick with a 600-tick history window.
+type SamplerConfig struct {
+	// Interval is the sampling tick (default 10ms, minimum 1ms).
+	Interval time.Duration
+	// History bounds the ring of retained TelemetrySamples and the
+	// advisor window (default 600 ticks — six seconds at the default
+	// tick).
+	History int
+	// OnRecommendation, when non-nil, runs on the sampler goroutine
+	// every time the live recommendation's signature changes (including
+	// the first tick). Keep it fast; it blocks the next tick.
+	OnRecommendation func(advisor.Recommendation)
+}
+
+// SamplerRates is the derived-rate view over the sampler's recent ticks:
+// exponentially weighted moving averages of the per-second counter deltas
+// plus the current backlog. An EWMA with alpha 0.2 weighs roughly the
+// last ten ticks — fast enough to catch a regime change, smooth enough
+// not to flap on one noisy tick.
+type SamplerRates struct {
+	Ticks         int           `json:"ticks"`           // samples collected so far
+	Interval      time.Duration `json:"interval_ns"`     // configured tick
+	AllocsPerSec  float64       `json:"allocs_per_sec"`  // block allocation rate
+	FreesPerSec   float64       `json:"frees_per_sec"`   // block recycle rate
+	RetiresPerSec float64       `json:"retires_per_sec"` // retire rate (frees + backlog slope)
+	ScansPerSec   float64       `json:"scans_per_sec"`   // cleanup-scan rate
+	BacklogSlope  float64       `json:"backlog_slope"`   // unreclaimed blocks/sec, signed
+	ParksPerTick  float64       `json:"parks_per_tick"`  // guard parks per tick
+	Backlog       int           `json:"backlog"`         // last sampled unreclaimed count
+}
+
+// ewmaAlpha is the smoothing factor of every sampler rate.
+const ewmaAlpha = 0.2
+
+// A Sampler is the streaming half of the observability runtime: a
+// background goroutine collecting Domain.Sample rows at a fixed tick into
+// a bounded ring history, deriving per-second rates, and feeding an
+// advisor.Monitor so the live scheme recommendation is always one method
+// call away. Start one with Domain.StartSampler or Options.SampleEvery;
+// stop it with Stop (idempotent — so is starting, while one runs).
+type Sampler struct {
+	sample   func() TelemetrySample
+	interval time.Duration
+	history  int
+	onRec    func(advisor.Recommendation)
+
+	mu     sync.Mutex
+	hist   []TelemetrySample // ring, hist[(n-len)..n) in tick order
+	n      int               // total ticks collected
+	rates  SamplerRates
+	mon    *advisor.Monitor
+	rec    advisor.Recommendation
+	hasRec bool
+
+	prev     TelemetrySample
+	prevTime time.Time
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+func newSampler(sample func() TelemetrySample, cfg SamplerConfig) *Sampler {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 10 * time.Millisecond
+	}
+	if cfg.Interval < time.Millisecond {
+		cfg.Interval = time.Millisecond
+	}
+	if cfg.History <= 0 {
+		cfg.History = 600
+	}
+	return &Sampler{
+		sample:   sample,
+		interval: cfg.Interval,
+		history:  cfg.History,
+		onRec:    cfg.OnRecommendation,
+		mon:      advisor.NewMonitor(cfg.History),
+		rates:    SamplerRates{Interval: cfg.Interval},
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+func (s *Sampler) run() {
+	go func() {
+		defer close(s.done)
+		ticker := time.NewTicker(s.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-ticker.C:
+				s.tick()
+			}
+		}
+	}()
+}
+
+// tick collects one sample and updates history, rates and the monitor.
+func (s *Sampler) tick() {
+	row := s.sample()
+	now := time.Now()
+
+	s.mu.Lock()
+	first := s.n == 0
+	if len(s.hist) < s.history {
+		s.hist = append(s.hist, row)
+	} else {
+		copy(s.hist, s.hist[1:])
+		s.hist[len(s.hist)-1] = row
+	}
+	tickIdx := s.n
+	s.n++
+
+	if !first {
+		dt := now.Sub(s.prevTime).Seconds()
+		if dt > 0 {
+			p := s.prev
+			blend := func(cur *float64, inst float64) {
+				*cur = (1-ewmaAlpha)*(*cur) + ewmaAlpha*inst
+			}
+			blend(&s.rates.AllocsPerSec, float64(row.Allocs-p.Allocs)/dt)
+			blend(&s.rates.FreesPerSec, float64(row.Frees-p.Frees)/dt)
+			blend(&s.rates.ScansPerSec, float64(row.ScanScans-p.ScanScans)/dt)
+			slope := float64(row.Unreclaimed-p.Unreclaimed) / dt
+			blend(&s.rates.BacklogSlope, slope)
+			// Retires = frees + backlog growth: every retired block either
+			// got recycled or is still in the backlog.
+			retires := float64(row.Frees-p.Frees) + float64(row.Unreclaimed-p.Unreclaimed)
+			blend(&s.rates.RetiresPerSec, retires/dt)
+			blend(&s.rates.ParksPerTick, float64(row.GuardParks-p.GuardParks))
+		}
+	}
+	s.rates.Ticks = s.n
+	s.rates.Backlog = row.Unreclaimed
+	s.prev, s.prevTime = row, now
+
+	rec, changed := s.mon.Push(advisor.Sample{
+		Tick:        tickIdx,
+		Unreclaimed: row.Unreclaimed,
+		ScanScans:   row.ScanScans,
+		ScanBlocks:  row.ScanBlocks,
+		P99Steps:    row.P99Steps,
+		GuardParks:  row.GuardParks,
+	})
+	s.rec, s.hasRec = rec, true
+	cb := s.onRec
+	s.mu.Unlock()
+
+	if changed && cb != nil {
+		cb(rec)
+	}
+}
+
+// Interval returns the configured sampling tick.
+func (s *Sampler) Interval() time.Duration { return s.interval }
+
+// Ticks returns how many samples have been collected so far.
+func (s *Sampler) Ticks() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// History returns a copy of the retained samples, oldest first.
+func (s *Sampler) History() []TelemetrySample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]TelemetrySample, len(s.hist))
+	copy(out, s.hist)
+	return out
+}
+
+// Rates returns the current derived-rate view.
+func (s *Sampler) Rates() SamplerRates {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rates
+}
+
+// Recommendation returns the live advisor recommendation over the
+// sampler's window, false before the first tick.
+func (s *Sampler) Recommendation() (advisor.Recommendation, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rec, s.hasRec
+}
+
+// Running reports whether the sampling goroutine is still alive.
+func (s *Sampler) Running() bool {
+	select {
+	case <-s.done:
+		return false
+	default:
+		return true
+	}
+}
+
+// Stop halts the sampling goroutine and waits for it to exit. Idempotent
+// and safe from any goroutine; the collected history, rates and
+// recommendation remain readable after Stop.
+func (s *Sampler) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.done
+}
