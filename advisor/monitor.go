@@ -11,8 +11,16 @@ package advisor
 // A Monitor is not safe for concurrent use; callers that sample from one
 // goroutine and read from another (the Sampler) serialize around it.
 type Monitor struct {
-	window  int
+	window int
+	// samples grows by append until it reaches window, then becomes a
+	// circular buffer: head marks the oldest entry and each push
+	// overwrites in place instead of memmoving the whole window.
 	samples []Sample
+	head    int
+	// scratch is the reusable oldest-first view handed to Advise once the
+	// buffer has wrapped (the kernel's streak and spike features depend on
+	// sample adjacency, so it must see the window in order).
+	scratch []Sample
 	rec     Recommendation
 	has     bool
 }
@@ -43,13 +51,25 @@ func (m *Monitor) Len() int { return len(m.samples) }
 // would fire on every sample, and a change signal that always fires is
 // no signal.
 func (m *Monitor) Push(s Sample) (Recommendation, bool) {
-	m.samples = append(m.samples, s)
-	if m.window > 0 && len(m.samples) > m.window {
-		// Slide rather than reslice forever: the monitor is long-lived.
-		copy(m.samples, m.samples[len(m.samples)-m.window:])
-		m.samples = m.samples[:m.window]
+	var view []Sample
+	if m.window > 0 && len(m.samples) == m.window {
+		// Ring overwrite: O(1) bookkeeping where a slide would memmove
+		// the window every push for the rest of the monitor's life.
+		m.samples[m.head] = s
+		if m.head++; m.head == m.window {
+			m.head = 0
+		}
+		if m.scratch == nil {
+			m.scratch = make([]Sample, m.window)
+		}
+		n := copy(m.scratch, m.samples[m.head:])
+		copy(m.scratch[n:], m.samples[:m.head])
+		view = m.scratch
+	} else {
+		m.samples = append(m.samples, s)
+		view = m.samples
 	}
-	rec := Advise(m.samples)
+	rec := Advise(view)
 	changed := !m.has || m.rec.Scheme != rec.Scheme
 	m.rec, m.has = rec, true
 	return rec, changed

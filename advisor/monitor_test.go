@@ -129,6 +129,39 @@ func TestMonitorBoundedWindowSlides(t *testing.T) {
 	}
 }
 
+// TestMonitorWraparoundMatchesOfflineEveryPush is the circular-buffer
+// regression pin: after the ring wraps, every Push must still judge
+// exactly the last `window` samples in stream order. Advise's streak and
+// spike features depend on sample adjacency, so a rotated or misordered
+// view diverges from the offline answer — the stream alternates regimes
+// every few ticks precisely to make order matter.
+func TestMonitorWraparoundMatchesOfflineEveryPush(t *testing.T) {
+	const w = 8
+	m := NewMonitor(w)
+	var stream []Sample
+	for i := 0; i < 6*w; i++ {
+		var s Sample
+		if (i/4)%2 == 0 {
+			s = steadySample(i)
+		} else {
+			s = stalledSample(i, 50)
+		}
+		stream = append(stream, s)
+		rec, _ := m.Push(s)
+		lo := len(stream) - w
+		if lo < 0 {
+			lo = 0
+		}
+		want := Advise(stream[lo:])
+		if rec.Scheme != want.Scheme {
+			t.Fatalf("push %d: streamed %q != offline Advise %q over the same window", i, rec.Scheme, want.Scheme)
+		}
+		if len(rec.Reasons) != len(want.Reasons) {
+			t.Fatalf("push %d: streamed reasons %v != offline %v", i, rec.Reasons, want.Reasons)
+		}
+	}
+}
+
 func TestMonitorNegativeWindowIsUnbounded(t *testing.T) {
 	m := NewMonitor(-5)
 	if m.Window() != 0 {

@@ -24,6 +24,14 @@
 // per-(scenario, scheme) trajectory as wfe-chaos/v1 JSON for artifact
 // upload and cmd/wfeadvise.
 //
+// The -switch mode is the live-switching storm: one Domain under
+// guardless churn from 8x more goroutines than guards has Domain.Switch
+// cycle it through every scheme in rotation for the whole run, with the
+// debug arena armed and a sampler recording the trajectory. Any ordering
+// bug between the guard gate, the backlog drain and the scheme swap
+// panics or fails the final census; -switchout writes the per-hop log
+// and sampler rows as wfe-switch/v1 JSON for artifact upload.
+//
 // Every mode can serve live OpenMetrics with -metrics; -churn can record
 // a Chrome trace-event artifact (wfe-trace/v1) of the guard runtime's
 // internal events with -trace.
@@ -33,6 +41,7 @@
 //	wfestress -churn -scheme all -duration 2s
 //	wfestress -workloads -scheme all -duration 1s
 //	wfestress -chaos -scheme all -chaosdir chaos-out
+//	wfestress -switch -duration 5s -switchout switch-trajectory.json
 //	wfestress -churn -scheme WFE -trace churn-trace.json -metrics 127.0.0.1:9100
 package main
 
@@ -95,6 +104,8 @@ func main() {
 		workloads = flag.Bool("workloads", false, "storm the promoted public structures (WFQueue, TurnQueue, HashMap, Tree) through the guardless API")
 		chaosRun  = flag.Bool("chaos", false, "run the canned chaos-schedule matrix (stalled readers, preempted writers, bursty churn, oversubscription) and assert the per-scheme robustness bounds")
 		chaosDir  = flag.String("chaosdir", "", "with -chaos: directory to write per-(scenario,scheme) trajectory JSONs into")
+		switchRun = flag.Bool("switch", false, "live-switching storm: cycle Domain.Switch through every scheme under guardless churn")
+		switchOut = flag.String("switchout", "", "with -switch: write the storm's hop log and sampler trajectory as wfe-switch/v1 JSON to this file")
 		maddr     = flag.String("metrics", "", "serve OpenMetrics/pprof on this address while stressing (e.g. 127.0.0.1:9100)")
 		traceOut  = flag.String("trace", "", "with -churn: record the domain's event trace and write it as Chrome trace-event JSON (wfe-trace/v1) to this file")
 	)
@@ -121,6 +132,13 @@ func main() {
 	}
 
 	failed := false
+	if *switchRun {
+		if err := switchStorm(*threads, *duration, *keyRange, *eraFreq, *switchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL switch: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *chaosRun {
 		if err := chaosMatrix(*scheme, *chaosDir); err != nil {
 			fmt.Fprintf(os.Stderr, "FAIL chaos: %v\n", err)
@@ -240,6 +258,178 @@ func chaosMatrix(scheme, dir string) error {
 	if failed {
 		return fmt.Errorf("robustness matrix violated (see lines above)")
 	}
+	return nil
+}
+
+// switchHop is one Domain.Switch in the storm's log: when it completed
+// (ms since storm start), the ordered pair it moved between, and the
+// retired backlog the drain left behind.
+type switchHop struct {
+	AtMS        int64  `json:"at_ms"`
+	From        string `json:"from"`
+	To          string `json:"to"`
+	Unreclaimed int    `json:"unreclaimed"`
+}
+
+// switchTrajectory is the wfe-switch/v1 artifact: the hop log plus the
+// sampler's telemetry rows across the whole storm, enough for offline
+// tools to plot backlog and scan behaviour around every swap.
+type switchTrajectory struct {
+	Format   string                `json:"format"`
+	Threads  int                   `json:"threads"`
+	Duration string                `json:"duration"`
+	Hops     []switchHop           `json:"hops"`
+	Samples  []wfe.TelemetrySample `json:"samples"`
+	Final    wfe.Telemetry         `json:"final"`
+}
+
+// switchStorm cycles one Domain through every scheme via Domain.Switch
+// while 8x more goroutines than guards churn the guardless API with the
+// debug arena armed. Each hop must drain cleanly mid-storm; afterwards
+// the structures are drained and the census must collapse like any
+// single-scheme run. The Leak dwell is survivable because the next hop's
+// drain hands the leaked backlog to a reclaiming scheme.
+func switchStorm(threads int, duration time.Duration, keyRange uint64,
+	eraFreq int, out string) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+
+	const interval = 5 * time.Millisecond
+	d, err := wfe.NewDomain[uint64](wfe.Options{
+		Scheme:      wfe.WFE,
+		Capacity:    1 << 22, // headroom for the Leak dwells' unreclaimed spikes
+		MaxGuards:   threads,
+		EraFreq:     eraFreq,
+		CleanupFreq: 4,
+		Debug:       true,
+	})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	observe("switch", d.Telemetry)
+	s := d.StartSampler(wfe.SamplerConfig{
+		Interval: interval,
+		History:  int(duration/interval) + 64,
+	})
+	st := wfe.NewStack[uint64](d)
+	m := wfe.NewMap[uint64](d, 64)
+
+	goroutines := 8 * threads
+	var (
+		stop atomic.Bool
+		ops  atomic.Uint64
+		wg   sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)*9901 + 7))
+			for !stop.Load() {
+				key := uint64(rng.Int63n(int64(keyRange)))
+				switch rng.Intn(6) {
+				case 0:
+					st.Push(key)
+				case 1:
+					st.Pop()
+				case 2:
+					m.Put(key, key)
+				case 3:
+					m.Delete(key)
+				case 4:
+					m.Get(key)
+				default: // pinned batch: a guard held across the gate's path
+					g := d.Pin()
+					m.InsertGuarded(g, key, key)
+					m.DeleteGuarded(g, key)
+					d.Unpin(g)
+				}
+				ops.Add(1)
+			}
+		}(w)
+	}
+
+	// The switcher: rotate through every scheme, dwelling briefly on each,
+	// until the clock runs out; always end on a reclaiming scheme so the
+	// final census has someone to collapse the backlog.
+	const dwell = 20 * time.Millisecond
+	rotation := wfe.AllSchemes()
+	var hops []switchHop
+	for i := 0; time.Since(start) < duration; i++ {
+		time.Sleep(dwell)
+		from := d.Scheme()
+		to := rotation[i%len(rotation)]
+		if to == from {
+			continue
+		}
+		if serr := d.Switch(to); serr != nil {
+			stop.Store(true)
+			wg.Wait()
+			return fmt.Errorf("hop %d (%v -> %v): %v", i, from, to, serr)
+		}
+		hops = append(hops, switchHop{
+			AtMS:        time.Since(start).Milliseconds(),
+			From:        from.String(),
+			To:          to.String(),
+			Unreclaimed: d.Telemetry().Unreclaimed,
+		})
+	}
+	if d.Scheme() == wfe.Leak {
+		if serr := d.Switch(wfe.WFE); serr != nil {
+			stop.Store(true)
+			wg.Wait()
+			return fmt.Errorf("final hop off Leak: %v", serr)
+		}
+		hops = append(hops, switchHop{
+			AtMS: time.Since(start).Milliseconds(),
+			From: wfe.Leak.String(), To: wfe.WFE.String(),
+			Unreclaimed: d.Telemetry().Unreclaimed,
+		})
+	}
+	stop.Store(true)
+	wg.Wait()
+	for {
+		if _, ok := st.Pop(); !ok {
+			break
+		}
+	}
+	for k := uint64(0); k < keyRange; k++ {
+		m.Delete(k)
+	}
+	quiesce.Settle(d)
+	if err := quiesce.Check(d, true); err != nil {
+		return err
+	}
+	s.Stop()
+	tel := d.Telemetry()
+	if got, want := tel.SchemeSwitches, uint64(len(hops)); got != want {
+		return fmt.Errorf("SchemeSwitches = %d, want %d (one per logged hop)", got, want)
+	}
+	if out != "" {
+		blob, jerr := json.MarshalIndent(switchTrajectory{
+			Format:   "wfe-switch/v1",
+			Threads:  threads,
+			Duration: duration.String(),
+			Hops:     hops,
+			Samples:  s.History(),
+			Final:    tel,
+		}, "", " ")
+		if jerr != nil {
+			return jerr
+		}
+		if werr := os.WriteFile(out, blob, 0o644); werr != nil {
+			return werr
+		}
+		fmt.Printf("trajectory: wrote %d hops, %d sampler rows to %s\n", len(hops), len(s.History()), out)
+	}
+	fmt.Printf("PASS switch           : %d ops, %d switches over %d schemes, %d goroutines over %d guards, %d unreclaimed in %v\n",
+		ops.Load(), len(hops), len(rotation), goroutines, threads,
+		tel.Unreclaimed, time.Since(start).Round(time.Millisecond))
 	return nil
 }
 

@@ -155,9 +155,21 @@ type Options struct {
 	// overwritten in place; writers never block or allocate.
 	TraceDepth int
 	// SampleEvery, when positive, auto-starts the Domain's background
-	// Sampler at that tick (see StartSampler). Stop it with
-	// Domain.Sampler().Stop() before teardown.
+	// Sampler at that tick (see StartSampler). Stop it with Domain.Close
+	// (or Domain.Sampler().Stop()) before teardown.
 	SampleEvery time.Duration
+	// AutoSwitch arms the adaptive runtime: the auto-started Sampler calls
+	// Domain.Switch whenever the live advisor recommendation has named the
+	// same non-current scheme for AutoSwitchAfter consecutive ticks. It
+	// requires SampleEvery (the sampler is the trigger source). The switch
+	// runs on the sampler goroutine and briefly gates guard acquisition;
+	// see Switch for the drain-and-swap semantics.
+	AutoSwitch bool
+	// AutoSwitchAfter is the hysteresis depth: consecutive identical
+	// verdicts required before AutoSwitch acts (default 3). A flapping
+	// advisor — alternating recommendations tick over tick — never
+	// accumulates a streak, so it can never thrash the Domain.
+	AutoSwitchAfter int
 }
 
 // A Domain[T] owns an arena of T-valued blocks and the reclamation scheme
@@ -178,9 +190,17 @@ type Options struct {
 // structures' Guarded method variants. See the "guard runtime" overview on
 // Guard for how the acquisition paths relate.
 type Domain[T any] struct {
-	smr   reclaim.Scheme
+	// smr is the live scheme, boxed with its kind behind one atomic
+	// pointer so Switch can swap both together while samplers and
+	// telemetry readers load them concurrently. Guard operations load the
+	// box per call; they can never observe a stale scheme mid-operation
+	// because Switch only swaps after every guard is released.
+	smr   atomic.Pointer[schemeBox]
 	arena *mem.Arena
-	kind  SchemeKind
+	// cfg is the reclaim configuration NewDomain resolved, kept so Switch
+	// can rebuild a scheme over the same arena. InitialEra is stamped per
+	// swap from eraFloor.
+	cfg reclaim.Config
 	// vals is the typed value slab, indexed by block handle minus one. A
 	// block's value is written once by Alloc before the block is published
 	// and never mutated while the block is live, so protected readers need
@@ -205,6 +225,45 @@ type Domain[T any] struct {
 	// holds the Domain's background Sampler, swapped by StartSampler.
 	tracer  *trace.Tracer
 	sampler atomic.Pointer[Sampler]
+
+	// switchMu serializes Switch calls; eraFloor (guarded by it) is the
+	// monotone maximum over every era/epoch clock a scheme of this Domain
+	// has ever reached — the InitialEra each freshly built scheme must
+	// start at so era stamps that survived earlier schemes stay below the
+	// new clock (see reclaim.Config.InitialEra). schemeSwitches counts
+	// completed swaps for Telemetry.
+	switchMu       sync.Mutex
+	eraFloor       uint64
+	schemeSwitches atomic.Uint64
+}
+
+// schemeBox pairs a scheme with its kind so both swap atomically.
+type schemeBox struct {
+	s    reclaim.Scheme
+	kind SchemeKind
+}
+
+// scheme returns the live scheme box.
+func (d *Domain[T]) scheme() *schemeBox { return d.smr.Load() }
+
+// liveScheme is the Domain's swap-following reclaim.Scheme view, for the
+// internal structures (kpqueue, crturn) that capture a scheme at
+// construction and hold it for life. Every method resolves the current
+// box, so a structure built before a Switch keeps working after it; each
+// call happens under a held guard, and Switch swaps only with every guard
+// released, so no single operation ever straddles two schemes.
+type liveScheme[T any] struct{ d *Domain[T] }
+
+func (l liveScheme[T]) Name() string                 { return l.d.scheme().s.Name() }
+func (l liveScheme[T]) Begin(tid int)                { l.d.scheme().s.Begin(tid) }
+func (l liveScheme[T]) Clear(tid int)                { l.d.scheme().s.Clear(tid) }
+func (l liveScheme[T]) Unreclaimed() int             { return l.d.scheme().s.Unreclaimed() }
+func (l liveScheme[T]) Arena() *mem.Arena            { return l.d.arena }
+func (l liveScheme[T]) Retirer() *reclaim.Retirer    { return l.d.scheme().s.Retirer() }
+func (l liveScheme[T]) Alloc(tid int) mem.Handle     { return l.d.scheme().s.Alloc(tid) }
+func (l liveScheme[T]) Retire(tid int, h mem.Handle) { l.d.scheme().s.Retire(tid, h) }
+func (l liveScheme[T]) GetProtected(tid int, src *atomic.Uint64, index int, parent mem.Handle) uint64 {
+	return l.d.scheme().s.GetProtected(tid, src, index, parent)
 }
 
 // cacheSlot is one registry cell of the lease cache, padded so concurrent
@@ -248,6 +307,7 @@ func NewDomain[T any](opts Options) (*Domain[T], error) {
 		{"SpillSize", opts.SpillSize},
 		{"SortCutoff", opts.SortCutoff},
 		{"TraceDepth", opts.TraceDepth},
+		{"AutoSwitchAfter", opts.AutoSwitchAfter},
 	} {
 		if tune.v < 0 {
 			return nil, fmt.Errorf("wfe: %s %d must be non-negative (0 selects the default)", tune.name, tune.v)
@@ -255,6 +315,9 @@ func NewDomain[T any](opts Options) (*Domain[T], error) {
 	}
 	if opts.SampleEvery < 0 {
 		return nil, fmt.Errorf("wfe: SampleEvery %v must be non-negative (0 disables the auto-started sampler)", opts.SampleEvery)
+	}
+	if opts.AutoSwitch && opts.SampleEvery == 0 {
+		return nil, fmt.Errorf("wfe: AutoSwitch requires SampleEvery (the background sampler is its trigger source)")
 	}
 	// The rings cost real memory (~40KiB per guard at the default depth),
 	// so they exist only on request — benchmark sweeps construct hundreds
@@ -286,17 +349,21 @@ func NewDomain[T any](opts Options) (*Domain[T], error) {
 		return nil, fmt.Errorf("wfe: %v", err)
 	}
 	d := &Domain[T]{
-		smr:    smr,
 		arena:  arena,
-		kind:   opts.Scheme,
+		cfg:    cfg,
 		vals:   make([]T, opts.Capacity),
 		guards: guardpool.New(opts.MaxGuards),
 		cache:  make([]cacheSlot[T], opts.MaxGuards),
 		tracer: tracer,
 	}
+	d.smr.Store(&schemeBox{s: smr, kind: opts.Scheme})
 	d.guards.SetTracer(tracer)
 	if opts.SampleEvery > 0 {
-		d.StartSampler(SamplerConfig{Interval: opts.SampleEvery})
+		d.StartSampler(SamplerConfig{
+			Interval:        opts.SampleEvery,
+			AutoSwitch:      opts.AutoSwitch,
+			AutoSwitchAfter: opts.AutoSwitchAfter,
+		})
 	}
 	// Drop a block's value the moment it is recycled: no reader can hold a
 	// freed block (that is the reclamation invariant), and without this a
@@ -308,18 +375,32 @@ func NewDomain[T any](opts Options) (*Domain[T], error) {
 	return d, nil
 }
 
-// Scheme returns the Domain's reclamation scheme kind.
-func (d *Domain[T]) Scheme() SchemeKind { return d.kind }
+// Scheme returns the Domain's current reclamation scheme kind. Under live
+// switching it is a moving target; each call reads the scheme atomically.
+func (d *Domain[T]) Scheme() SchemeKind { return d.scheme().kind }
 
 // Guard acquires one of the Domain's MaxGuards guard handles. It panics
 // when all are held and none is cached: a panic here means a sizing bug —
 // more long-lived explicit guards than MaxGuards — not a runtime condition.
 // Use AcquireGuard to block until one frees, or TryGuard to poll.
+//
+// While a live scheme switch has acquisition gated, Guard blocks until the
+// switch completes instead of panicking — the guards are all free then,
+// just briefly withheld, which is the opposite of a sizing bug.
 func (d *Domain[T]) Guard() *Guard[T] {
-	g, ok := d.TryGuard()
-	if !ok {
+	if g, ok := d.TryGuard(); ok {
+		return g
+	}
+	if !d.guards.Paused() {
+		// Re-poll once: the failed TryGuard may have raced a switch that
+		// has since resumed, and panicking then would blame a sizing bug
+		// that never existed.
+		if g, ok := d.TryGuard(); ok {
+			return g
+		}
 		panic("wfe: all guards in use; raise Options.MaxGuards, Release an idle guard, or block with AcquireGuard")
 	}
+	g, _ := d.AcquireGuard(context.Background()) // never errs: ctx has no deadline
 	return g
 }
 
@@ -378,6 +459,13 @@ func (d *Domain[T]) spareTid() (int, bool) {
 // scanned directly, so a guard cached by any P (or dropped by the pool
 // entirely) is always claimable.
 func (d *Domain[T]) fromCache() (*Guard[T], bool) {
+	if d.guards.Paused() {
+		// A live scheme switch is waiting for every guard to come home;
+		// claiming one out of the cache would hand a new operation a stale
+		// scheme. Callers fall through to the pool, whose gate parks them
+		// until the switch completes.
+		return nil, false
+	}
 	for {
 		v := d.leases.Get()
 		if v == nil {
@@ -498,7 +586,7 @@ func (d *Domain[T]) FlushGuardCache() int {
 
 // Unreclaimed reports the number of retired-but-not-yet-recycled blocks,
 // the paper's reclamation-speed metric. Approximate under concurrency.
-func (d *Domain[T]) Unreclaimed() int { return d.smr.Unreclaimed() }
+func (d *Domain[T]) Unreclaimed() int { return d.scheme().s.Unreclaimed() }
 
 // Telemetry is a point-in-time census of a Domain's reclamation machinery
 // and its guard runtime.
@@ -541,6 +629,10 @@ type Telemetry struct {
 	GuardParks       uint64 // times an acquirer parked waiting for a free guard
 	GuardCacheHits   uint64 // guards claimed out of the lease cache
 	GuardCacheMisses uint64 // Pin/guardless ops that had to hit the pool
+
+	// SchemeSwitches counts live scheme swaps completed by Domain.Switch
+	// over the Domain's lifetime.
+	SchemeSwitches uint64
 }
 
 // Telemetry samples the Domain's counters. The snapshot is approximate
@@ -550,9 +642,10 @@ type Telemetry struct {
 func (d *Domain[T]) Telemetry() Telemetry {
 	st := d.arena.Stats()
 	gp := d.guards.Stats()
-	probe := d.smr.Retirer().Probe()
+	box := d.scheme()
+	probe := box.s.Retirer().Probe()
 	t := Telemetry{
-		Scheme:      d.kind.String(),
+		Scheme:      box.kind.String(),
 		MaxSteps:    probe.MaxSteps,
 		P99Steps:    probe.P99Steps,
 		Unreclaimed: probe.Unreclaimed,
@@ -575,11 +668,13 @@ func (d *Domain[T]) Telemetry() Telemetry {
 		GuardParks:       gp.Parks,
 		GuardCacheHits:   d.cacheHits.Load(),
 		GuardCacheMisses: d.cacheMisses.Load(),
+
+		SchemeSwitches: d.schemeSwitches.Load(),
 	}
-	if e, ok := d.smr.(interface{ Era() uint64 }); ok {
+	if e, ok := box.s.(interface{ Era() uint64 }); ok {
 		t.Era = e.Era()
 	}
-	if s, ok := d.smr.(interface{ SlowPaths() uint64 }); ok {
+	if s, ok := box.s.(interface{ SlowPaths() uint64 }); ok {
 		t.SlowPaths = s.SlowPaths()
 	}
 	return t
@@ -611,7 +706,7 @@ type TelemetrySample struct {
 // hook) plus the arena and guard-pool counters. Approximate under
 // concurrency like Telemetry; cheap enough to call every scheduler tick.
 func (d *Domain[T]) Sample() TelemetrySample {
-	probe := d.smr.Retirer().Probe()
+	probe := d.scheme().s.Retirer().Probe()
 	st := d.arena.Stats()
 	return TelemetrySample{
 		Unreclaimed: probe.Unreclaimed,
@@ -729,6 +824,20 @@ func (d *Domain[T]) StartSampler(cfg SamplerConfig) *Sampler {
 			return cur
 		} else {
 			s := newSampler(d.Sample, cfg)
+			if cfg.AutoSwitch {
+				// Wired here, not in newSampler: the sampler is generic
+				// over its sample source, and only the Domain knows how to
+				// switch schemes. Installed before run, so the goroutine
+				// never observes them half-set.
+				s.switchTo = func(name string) error {
+					kind, err := ParseScheme(name)
+					if err != nil {
+						return err
+					}
+					return d.Switch(kind)
+				}
+				s.current = func() string { return d.Scheme().String() }
+			}
 			if d.sampler.CompareAndSwap(cur, s) {
 				s.run()
 				return s
@@ -744,6 +853,115 @@ func (d *Domain[T]) StartSampler(cfg SamplerConfig) *Sampler {
 // StartSampler (or Options.SampleEvery) never ran. The returned sampler
 // may already be stopped; check Running.
 func (d *Domain[T]) Sampler() *Sampler { return d.sampler.Load() }
+
+// Close stops the Domain's background machinery — today that is the
+// Sampler, whether auto-started by Options.SampleEvery or explicitly by
+// StartSampler. It is idempotent and safe to defer at construction:
+//
+//	d, _ := wfe.NewDomain[int](wfe.Options{SampleEvery: time.Millisecond})
+//	defer d.Close()
+//
+// Close does not wait for outstanding Guards; releasing those is still the
+// caller's job. A closed Domain remains usable for data-structure
+// operations (only the sampler is gone), but callers should treat Close as
+// teardown.
+func (d *Domain[T]) Close() error {
+	if s := d.sampler.Load(); s != nil {
+		s.Stop()
+	}
+	return nil
+}
+
+// Switch replaces the Domain's reclamation scheme with a freshly
+// constructed scheme of the given kind, over the same arena, while the
+// Domain stays live. This is the drain-and-swap design: Switch briefly
+// gates new guard acquisition (Guard/Pin/AcquireGuard callers park, they
+// do not fail), waits for every in-flight guard to come home, drains the
+// outgoing scheme's retire backlog to zero, then swaps schemes and lifts
+// the gate. In-flight operations are never interrupted — the gate only
+// delays the start of new ones — so the pause is bounded by the longest
+// operation in flight plus the drain.
+//
+// Safety across the swap rests on two invariants. First, no block is
+// retired-but-unreclaimed when the new scheme starts: the old backlog was
+// drained under quiescence (every guard released means no reservation can
+// protect anything), so the new scheme never judges a block whose
+// retirement it did not observe. Second, era stamps that survive the swap
+// (allocation eras on live blocks) stay below the new scheme's clock: the
+// Domain tracks the maximum era/epoch any of its schemes ever reached and
+// seeds each new scheme at that floor (reclaim.Config.InitialEra), so a
+// stale stamp can only widen a lifespan estimate, never invert one.
+//
+// Cumulative telemetry (scan counts, step histograms) carries across the
+// swap, so Sampler histories and Monitor trajectories stay monotone.
+// Telemetry.SchemeSwitches counts completed swaps, and the tracer (when
+// armed) records a scheme-switch event with the outgoing and incoming
+// kinds.
+//
+// Switch serializes with itself; concurrent calls queue. Switching to the
+// current kind is a no-op. It returns an error only for an unknown kind —
+// a swap that starts always completes.
+func (d *Domain[T]) Switch(kind SchemeKind) error {
+	// Resolve the factory before gating anything: an unknown kind must not
+	// cost the Domain a pause.
+	factory, ok := schemes.Lookup(kind.String())
+	if !ok {
+		return fmt.Errorf("wfe: unknown scheme %q", kind.String())
+	}
+	d.switchMu.Lock()
+	defer d.switchMu.Unlock()
+	old := d.scheme()
+	if old.kind == kind {
+		return nil
+	}
+
+	// Gate new acquisitions and wait for the in-flight set to drain. The
+	// lease cache is flushed inside the loop: an operation that was mid
+	// Unpin when the gate dropped may park its guard in the cache after our
+	// previous flush, and only a flush moves it back where Free can see it.
+	d.guards.Pause()
+	defer d.guards.Resume()
+	for spins := 0; ; spins++ {
+		d.FlushGuardCache()
+		if d.guards.Free() == d.guards.Cap() {
+			break
+		}
+		if spins < 128 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+
+	// Quiescent now: no guard is held, so no reservation protects anything
+	// and every retired block is reclaimable by definition. Drain the old
+	// scheme's per-tid retire rings unconditionally, then sweep the arena
+	// for retired blocks the old scheme never tracked (the Leak baseline
+	// discards its retire ring contents once published).
+	oldRet := old.s.Retirer()
+	for tid := 0; tid < d.guards.Cap(); tid++ {
+		oldRet.DrainAll(tid)
+	}
+	d.arena.FreeRetired(0)
+
+	// Advance the era floor past every clock the outgoing scheme ran, then
+	// build the incoming scheme with its clock seeded at the floor.
+	if e, ok := old.s.(interface{ Era() uint64 }); ok && e.Era() > d.eraFloor {
+		d.eraFloor = e.Era()
+	}
+	if e, ok := old.s.(interface{ Epoch() uint64 }); ok && e.Epoch() > d.eraFloor {
+		d.eraFloor = e.Epoch()
+	}
+	cfg := d.cfg
+	cfg.InitialEra = d.eraFloor
+	next := factory(d.arena, cfg)
+	next.Retirer().CarryFrom(oldRet)
+
+	d.smr.Store(&schemeBox{s: next, kind: kind})
+	d.schemeSwitches.Add(1)
+	d.tracer.Emit(trace.SharedTid, trace.KindSchemeSwitch, uint64(old.kind), uint64(kind))
+	return nil
+}
 
 // A Ref[T] is a typed reference to a block of its Domain, possibly carrying
 // a mark bit (see WithMark). The zero Ref is nil. Refs are plain values:
@@ -851,19 +1069,19 @@ func (g *Guard[T]) Release() {
 		d.cache[g.slot].g.CompareAndSwap(g, nil)
 		g.slot = -1
 	}
-	d.smr.Clear(g.tid)
+	d.scheme().s.Clear(g.tid)
 	g.d = nil // fail fast on use-after-Release
 	d.guards.Release(g.tid)
 }
 
 // Begin marks the start of a data-structure operation. Epoch- and
 // interval-based schemes announce activity here; WFE, HE and HP no-op.
-func (g *Guard[T]) Begin() { g.d.smr.Begin(g.tid) }
+func (g *Guard[T]) Begin() { g.d.scheme().s.Begin(g.tid) }
 
 // End marks the end of an operation, dropping every protection the guard
 // holds (the paper's clear()). Refs obtained from Protect must not be
 // dereferenced after End.
-func (g *Guard[T]) End() { g.d.smr.Clear(g.tid) }
+func (g *Guard[T]) End() { g.d.scheme().s.Clear(g.tid) }
 
 // Alloc allocates a block holding v and returns an owned (not yet
 // published) Ref to it. All NumWords link/metadata words are zeroed (the
@@ -871,7 +1089,7 @@ func (g *Guard[T]) End() { g.d.smr.Clear(g.tid) }
 // StoreMeta and links with Store before publishing the block by CAS-ing
 // its Ref into the structure.
 func (g *Guard[T]) Alloc(v T) Ref[T] {
-	h := g.d.smr.Alloc(g.tid)
+	h := g.d.scheme().s.Alloc(g.tid)
 	for i := 0; i < NumWords; i++ {
 		g.d.arena.StoreWord(h, i, 0)
 	}
@@ -896,14 +1114,14 @@ func (g *Guard[T]) Dealloc(r Ref[T]) { g.d.arena.Free(g.tid, r.handle()) }
 // cleanup scan may run later under whichever goroutine next leases that
 // tid. All three acquisition paths therefore share one retire discipline;
 // none can strand a retired block.
-func (g *Guard[T]) Retire(r Ref[T]) { g.d.smr.Retire(g.tid, r.handle()) }
+func (g *Guard[T]) Retire(r Ref[T]) { g.d.scheme().s.Retire(g.tid, r.handle()) }
 
 // Protect reads a structure-root link and protects the referenced block
 // until End (or until slot is reused by a later Protect). slot selects one
 // of the guard's MaxSlots protections. The returned Ref preserves the mark
 // bit stored in the link.
 func (g *Guard[T]) Protect(src *Atomic[T], slot int) Ref[T] {
-	return Ref[T]{g.d.smr.GetProtected(g.tid, &src.v, slot, 0) & pack.PtrMask}
+	return Ref[T]{g.d.scheme().s.GetProtected(g.tid, &src.v, slot, 0) & pack.PtrMask}
 }
 
 // ProtectWord reads link word `word` of the protected-or-owned block
@@ -913,7 +1131,7 @@ func (g *Guard[T]) Protect(src *Atomic[T], slot int) Ref[T] {
 func (g *Guard[T]) ProtectWord(parent Ref[T], word, slot int) Ref[T] {
 	ph := parent.handle()
 	src := g.d.arena.WordAddr(ph, word)
-	return Ref[T]{g.d.smr.GetProtected(g.tid, src, slot, ph) & pack.PtrMask}
+	return Ref[T]{g.d.scheme().s.GetProtected(g.tid, src, slot, ph) & pack.PtrMask}
 }
 
 // Value returns the block's value. The block must be protected, owned, or

@@ -97,6 +97,42 @@ func ExampleDomain_StartSampler() {
 	// running after Stop: false
 }
 
+// ExampleDomain_Switch swaps a live Domain's reclamation scheme without
+// touching the structures built on it: Switch gates new guard
+// acquisitions, waits for in-flight guards, drains the outgoing scheme's
+// retired backlog, and installs the new scheme over the same arena.
+// Values stored before the switch survive it — only the reclamation
+// algorithm changed. Options.AutoSwitch wires the streaming advisor to
+// this call for hands-off operation.
+func ExampleDomain_Switch() {
+	d, err := wfe.NewDomain[string](wfe.Options{
+		Scheme:   wfe.EBR, // cheap while readers never stall
+		Capacity: 1024,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer d.Close()
+
+	s := wfe.NewStack[string](d)
+	s.Push("survives the swap")
+
+	// The workload turned hostile for EBR (say the advisor reported a
+	// stalled-reader signature): move to the wait-free scheme, live.
+	if err := d.Switch(wfe.WFE); err != nil {
+		panic(err)
+	}
+	fmt.Println("scheme:", d.Scheme())
+	fmt.Println("switches:", d.Telemetry().SchemeSwitches)
+	if v, ok := s.Pop(); ok {
+		fmt.Println(v)
+	}
+	// Output:
+	// scheme: WFE
+	// switches: 1
+	// survives the swap
+}
+
 // ExampleStack: the guardless stack methods are safe from any number of
 // goroutines — far more than MaxGuards — because each operation leases a
 // guard from the Domain's pool and parks when all are busy.

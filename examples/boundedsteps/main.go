@@ -62,6 +62,7 @@ func measure(kind wfe.SchemeKind) (med, p99, p9999, max time.Duration, tel wfe.T
 	if err != nil {
 		panic(err)
 	}
+	defer d.Close()
 
 	reader := d.Guard()
 	var root wfe.Atomic[int]

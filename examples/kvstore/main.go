@@ -69,6 +69,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	defer d.Close()
 	store := wfe.NewMap[uint64](d, int(*keyRange))
 
 	var (

@@ -42,6 +42,7 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
+	defer d.Close()
 	s := wfe.NewStack[uint64](d)
 
 	// Guardless taste: LIFO order, no Guard anywhere.

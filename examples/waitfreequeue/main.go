@@ -43,6 +43,7 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
+	defer d.Close()
 	q := wfe.NewQueue[uint64](d)
 
 	var (

@@ -42,6 +42,7 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
+	defer d.Close()
 
 	wf := wfe.NewWFQueue[uint64](d)
 	turn := wfe.NewTurnQueue[uint64](d)

@@ -99,7 +99,7 @@ func New(arena *mem.Arena, cfg reclaim.Config) *WFE {
 		threads:      make([]threadState, n),
 	}
 	w.rt = reclaim.NewRetirer(arena, cfg, w)
-	w.globalEra.Store(1)
+	w.globalEra.Store(max(1, cfg.InitialEra))
 	inf := uint64(pack.MakeEraTag(pack.Inf, 0))
 	for i := range w.reservations {
 		w.reservations[i].Store(inf)

@@ -60,7 +60,7 @@ func New(arena *mem.Arena, cfg reclaim.Config) *EBR {
 		threads:  make([]threadState, cfg.MaxThreads),
 	}
 	e.rt = reclaim.NewRetirer(arena, cfg, e)
-	e.globalEpoch.Store(2)
+	e.globalEpoch.Store(max(2, cfg.InitialEra))
 	return e
 }
 

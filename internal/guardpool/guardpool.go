@@ -28,6 +28,7 @@ package guardpool
 
 import (
 	"context"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -65,6 +66,13 @@ type Pool struct {
 
 	acquires atomic.Uint64
 	parks    atomic.Uint64
+
+	// gate, when non-nil, is the pause epoch: new acquisitions wait on the
+	// channel it points to until Resume closes it. pauseMu serializes
+	// pausers (held from Pause to Resume) so overlapping pause epochs
+	// cannot interleave their gate swaps.
+	gate    atomic.Pointer[chan struct{}]
+	pauseMu sync.Mutex
 
 	// tracer, when set before use, receives guard lifecycle events
 	// (acquire, park, cancel). Nil costs one branch per event site.
@@ -118,12 +126,39 @@ func (p *Pool) pop() (int, bool) {
 	}
 }
 
+// Pause gates new acquisitions: until Resume, TryAcquire reports no free
+// ids and Acquire parks on the pause epoch instead of the freelist. Ids
+// already held stay held — Pause does not revoke anything; the pauser
+// waits for them to drain back (Free reaching Cap) itself. Releases during
+// a pause always go to the freelist, never to a parked waiter, so the
+// freed set only grows and Free's quiescent walk is exact. Concurrent
+// pausers serialize: the second Pause blocks until the first Resume.
+func (p *Pool) Pause() {
+	p.pauseMu.Lock()
+	ch := make(chan struct{})
+	p.gate.Store(&ch)
+}
+
+// Resume releases the pause epoch, waking every gated acquirer.
+func (p *Pool) Resume() {
+	ch := p.gate.Swap(nil)
+	close(*ch)
+	p.pauseMu.Unlock()
+}
+
+// Paused reports whether a pause epoch is in effect.
+func (p *Pool) Paused() bool { return p.gate.Load() != nil }
+
 // TryAcquire pops a free id, reporting false when none is free. Ids that
 // Release handed to parked waiters are reserved: TryAcquire only drains
 // the handoff channel when nobody is registered to park (a waiter that
 // left without its id — context cancelled, or satisfied from the caller's
-// spare supply — strands it there until someone claims it).
+// spare supply — strands it there until someone claims it). During a
+// pause epoch it always reports false.
 func (p *Pool) TryAcquire() (int, bool) {
+	if p.Paused() {
+		return 0, false
+	}
 	if tid, ok := p.pop(); ok {
 		p.acquires.Add(1)
 		p.tracer.Emit(tid, trace.KindGuardAcquire, trace.AcquireFreelist, 0)
@@ -149,7 +184,11 @@ func (p *Pool) TryAcquire() (int, bool) {
 // TryAcquire/Acquire and must not be released twice — the freelist trusts
 // its caller the same way the schemes trust their tids.
 func (p *Pool) Release(tid int) {
-	if p.waiters.Load() > 0 {
+	// During a pause the freelist is the only destination: a handoff would
+	// let a cycling waiter chain acquisitions through the gate, and the
+	// pauser's quiescence walk (Free) counts only the freelist and the
+	// already-stranded channel ids.
+	if !p.Paused() && p.waiters.Load() > 0 {
 		select {
 		case p.hand <- tid:
 			return
@@ -196,6 +235,20 @@ func (p *Pool) Acquire(ctx context.Context, spare func() (int, bool)) (int, erro
 		}
 	}()
 	for {
+		// A pause epoch parks everyone here, before the spare poll and the
+		// waiter registration: a gated acquirer holds nothing and touches
+		// nothing until Resume closes the epoch channel. In-flight
+		// acquirers past this check at Pause time can still slip one pop
+		// through; they come back around to the gate, so the pauser's
+		// drain-to-quiescence wait stays bounded by the in-flight set.
+		if g := p.gate.Load(); g != nil {
+			select {
+			case <-*g:
+			case <-ctx.Done():
+				p.tracer.Emit(trace.SharedTid, trace.KindGuardCancel, 0, 0)
+				return 0, ctx.Err()
+			}
+		}
 		if spare != nil {
 			if tid, ok := spare(); ok {
 				p.acquires.Add(1)

@@ -60,7 +60,7 @@ func New(arena *mem.Arena, cfg reclaim.Config) *HE {
 		threads:      make([]threadState, cfg.MaxThreads),
 	}
 	h.rt = reclaim.NewRetirer(arena, cfg, h)
-	h.globalEra.Store(1)
+	h.globalEra.Store(max(1, cfg.InitialEra))
 	for i := range h.reservations {
 		h.reservations[i].Store(pack.Inf)
 	}

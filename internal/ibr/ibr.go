@@ -71,7 +71,7 @@ func New(arena *mem.Arena, cfg reclaim.Config) *IBR {
 		threads:   make([]threadState, cfg.MaxThreads),
 	}
 	ib.rt = reclaim.NewRetirer(arena, cfg, ib)
-	ib.globalEra.Store(1)
+	ib.globalEra.Store(max(1, cfg.InitialEra))
 	for i := range ib.intervals {
 		ib.intervals[i].lower.Store(pack.Inf)
 		ib.intervals[i].upper.Store(pack.Inf)

@@ -235,6 +235,31 @@ func (a *Arena) Free(tid int, h Handle) {
 	t.frees.Add(1)
 }
 
+// FreeRetired frees every slot still in the retired state, crediting the
+// frees to tid's cache, and returns how many it freed. It must only run on
+// a quiescent arena with every reservation cleared — then a retired slot
+// is by definition unreachable. The live scheme switch uses it to reclaim
+// blocks the outgoing scheme retired but never tracked (the leak
+// baseline's entire backlog); for tracking schemes whose retire rings were
+// already drained it is a read-only sweep.
+func (a *Arena) FreeRetired(tid int) int {
+	n := 0
+	// Slots past the bump highwater were never handed out, so they cannot
+	// be retired; stopping there keeps the sweep proportional to the
+	// arena's real footprint instead of its capacity.
+	hi := a.bump.Load()
+	if hi > uint64(len(a.slots)) {
+		hi = uint64(len(a.slots))
+	}
+	for i := 0; i < int(hi); i++ {
+		if a.slots[i].state.Load() == slotRetired {
+			a.Free(tid, Handle(i+1))
+			n++
+		}
+	}
+	return n
+}
+
 // Global spill list: a Treiber stack of whole segments. The head word
 // packs a 40-bit stamp with the 24-bit handle of the top segment's first
 // slot; the stamp defeats ABA on concurrent transfers. Each segment is a
@@ -474,7 +499,11 @@ func (a *Arena) Census() Census {
 		b = a.cap
 	}
 	c.BumpFree = int(a.cap - b)
-	for i := range a.slots {
+	// Slots past the bump highwater were never handed out and slotFree is
+	// the zero state, so the Live walk stops at the highwater — on a large
+	// mostly-untouched arena this also avoids faulting in gigabytes of
+	// never-used slot memory just to read zeros.
+	for i := 0; i < int(b); i++ {
 		if a.slots[i].state.Load() != slotFree {
 			c.Live++
 		}

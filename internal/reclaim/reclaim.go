@@ -91,6 +91,15 @@ type Config struct {
 	// crossover Calibrate measures once per process; the two tests are
 	// property-tested equivalent, so the value is purely a cost choice.
 	SortCutoff int
+	// InitialEra, when above a scheme's natural starting value, seeds the
+	// global era/epoch clock. Live scheme switching depends on it: blocks
+	// that survive a switch keep allocation-era stamps from the previous
+	// scheme's clock, and a fresh clock restarting below them would judge
+	// an inverted [alloc, retire] lifespan as empty — and free a block a
+	// current reader still protects. Seeding the clock at (or above) the
+	// old clock's final value keeps every stale stamp ≤ every new era, so
+	// stale lifespans only over-approximate. Zero means the scheme default.
+	InitialEra uint64
 	// Tracer, when non-nil, receives reclamation lifecycle events
 	// (retire, scan begin/end, era advances). A nil or disabled tracer
 	// costs one branch per event site.

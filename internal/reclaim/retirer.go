@@ -105,6 +105,18 @@ type Retirer struct {
 	tracer      *trace.Tracer
 
 	threads []retireThread
+
+	// carry is telemetry inherited from a predecessor Retirer via
+	// CarryFrom: a live scheme switch builds a fresh runtime, but the
+	// Domain's cumulative counters (scan totals, step histograms) must
+	// stay monotone across the swap or every trajectory consumer — the
+	// Sampler's EWMAs, the advisor's deltas, OpenMetrics counters — would
+	// see them jump backwards. Written once before the Retirer is shared;
+	// read-only thereafter.
+	carry struct {
+		stats ScanStats
+		hist  StepHist
+	}
 }
 
 // NewRetirer creates the runtime over arena for cfg.MaxThreads threads.
@@ -251,6 +263,43 @@ func (r *Retirer) Scan(tid int) {
 	r.tracer.Emit(tid, trace.KindScanEnd, uint64(n), freed)
 }
 
+// DrainAll frees every block on tid's retire ring unconditionally, without
+// consulting the Judge, and returns how many it freed. It is the live
+// scheme switch's drain primitive and is only sound at quiescence: with
+// every guard released, every reservation is cleared, so no retired block
+// can still be protected. For the judge-less leak mode it resets the
+// published count (the leaked blocks themselves are reclaimed separately,
+// via the arena's retired-slot sweep).
+func (r *Retirer) DrainAll(tid int) int {
+	t := &r.threads[tid]
+	n := t.ring.len()
+	for i := 0; i < n; i++ {
+		r.arena.Free(tid, t.ring.pop())
+	}
+	t.ring.publish()
+	t.ring.maybeShrink()
+	return n
+}
+
+// CarryFrom inherits prev's cumulative telemetry — scan totals and step
+// histograms, its own carry included — so counters read through this
+// Retirer continue prev's rather than restarting from zero. Call it once,
+// on a Retirer not yet shared with other goroutines, while prev is
+// quiescent (the live scheme switch does both by construction).
+func (r *Retirer) CarryFrom(prev *Retirer) {
+	r.carry.stats = prev.Stats()
+	prev.mergeHists(&r.carry.hist)
+}
+
+// mergeHists accumulates every thread's step histogram plus the carry into
+// sum.
+func (r *Retirer) mergeHists(sum *StepHist) {
+	for i := range r.threads {
+		sum.Merge(&r.threads[i].hist)
+	}
+	sum.Merge(&r.carry.hist)
+}
+
 // Unreclaimed reports the retired-but-not-yet-freed block count across all
 // threads, the paper's reclamation-speed metric. Approximate under
 // concurrency (each ring's length is published, not fenced).
@@ -272,7 +321,7 @@ func (r *Retirer) RecordSteps(tid int, steps uint64) {
 // MaxSteps reports the worst protect-loop iteration count any single
 // GetProtected call needed, across all threads. Sample quiescently.
 func (r *Retirer) MaxSteps() uint64 {
-	var max uint64
+	max := r.carry.hist.Max()
 	for i := range r.threads {
 		if m := r.threads[i].hist.Max(); m > max {
 			max = m
@@ -286,16 +335,14 @@ func (r *Retirer) MaxSteps() uint64 {
 // Sample quiescently: the histograms are owner-written.
 func (r *Retirer) StepQuantile(q float64) uint64 {
 	var sum StepHist
-	for i := range r.threads {
-		sum.Merge(&r.threads[i].hist)
-	}
+	r.mergeHists(&sum)
 	return sum.Quantile(q)
 }
 
 // Stats sums the per-thread cleanup-scan telemetry. Approximate under
 // concurrency; exact quiescently.
 func (r *Retirer) Stats() ScanStats {
-	var s ScanStats
+	s := r.carry.stats
 	for i := range r.threads {
 		t := &r.threads[i]
 		s.Scans += atomic.LoadUint64(&t.stats.Scans)
@@ -322,8 +369,10 @@ type Probe struct {
 // Probe gathers one telemetry sample across all threads.
 func (r *Retirer) Probe() Probe {
 	var p Probe
+	p.Scans = r.carry.stats
 	var backlog int64
 	var hist StepHist
+	hist.Merge(&r.carry.hist)
 	for i := range r.threads {
 		t := &r.threads[i]
 		backlog += t.ring.published.Load()

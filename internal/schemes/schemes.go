@@ -1,6 +1,7 @@
 // Package schemes is the registry tying every reclamation scheme to its
-// benchmark name, so the harness, tests and examples can instantiate any of
-// them uniformly.
+// benchmark name, so the harness, tests, examples — and the Domain's live
+// scheme switch, which rebuilds schemes at runtime — can instantiate any
+// of them uniformly.
 package schemes
 
 import (
@@ -17,34 +18,51 @@ import (
 	"wfe/internal/wfeibr"
 )
 
+// A Factory constructs one reclamation scheme over an arena. Factories are
+// total: configuration errors are the constructors' to panic on, name
+// resolution errors are Lookup's.
+type Factory func(*mem.Arena, reclaim.Config) reclaim.Scheme
+
+// registry maps every legend name — plus the -slow ablation variants,
+// which pin ForceSlowPath before construction — to its factory.
+var registry = map[string]Factory{
+	"WFE": func(a *mem.Arena, cfg reclaim.Config) reclaim.Scheme { return core.New(a, cfg) },
+	"WFE-slow": func(a *mem.Arena, cfg reclaim.Config) reclaim.Scheme {
+		// ablation A2: every GetProtected takes the slow path
+		cfg.ForceSlowPath = true
+		return core.New(a, cfg)
+	},
+	"HE":     func(a *mem.Arena, cfg reclaim.Config) reclaim.Scheme { return he.New(a, cfg) },
+	"HP":     func(a *mem.Arena, cfg reclaim.Config) reclaim.Scheme { return hp.New(a, cfg) },
+	"EBR":    func(a *mem.Arena, cfg reclaim.Config) reclaim.Scheme { return ebr.New(a, cfg) },
+	"2GEIBR": func(a *mem.Arena, cfg reclaim.Config) reclaim.Scheme { return ibr.New(a, cfg) },
+	// extension: the paper's §2.4 remark — wait-free 2GEIBR
+	"WFE-IBR": func(a *mem.Arena, cfg reclaim.Config) reclaim.Scheme { return wfeibr.New(a, cfg) },
+	"WFE-IBR-slow": func(a *mem.Arena, cfg reclaim.Config) reclaim.Scheme {
+		cfg.ForceSlowPath = true
+		return wfeibr.New(a, cfg)
+	},
+	"Leak": func(a *mem.Arena, cfg reclaim.Config) reclaim.Scheme { return leak.New(a, cfg) },
+}
+
 // Names lists the schemes in the paper's legend order.
 func Names() []string {
 	return []string{"WFE", "HE", "HP", "EBR", "2GEIBR", "Leak"}
 }
 
+// Lookup resolves a scheme name to its factory without constructing
+// anything — the validation half of New, for callers (the live scheme
+// switch) that must fail fast before committing to a swap.
+func Lookup(name string) (Factory, bool) {
+	f, ok := registry[name]
+	return f, ok
+}
+
 // New instantiates the named scheme over the given arena.
 func New(name string, arena *mem.Arena, cfg reclaim.Config) (reclaim.Scheme, error) {
-	switch name {
-	case "WFE":
-		return core.New(arena, cfg), nil
-	case "WFE-slow": // ablation A2: every GetProtected takes the slow path
-		cfg.ForceSlowPath = true
-		return core.New(arena, cfg), nil
-	case "HE":
-		return he.New(arena, cfg), nil
-	case "HP":
-		return hp.New(arena, cfg), nil
-	case "EBR":
-		return ebr.New(arena, cfg), nil
-	case "2GEIBR":
-		return ibr.New(arena, cfg), nil
-	case "WFE-IBR": // extension: the paper's §2.4 remark — wait-free 2GEIBR
-		return wfeibr.New(arena, cfg), nil
-	case "WFE-IBR-slow":
-		cfg.ForceSlowPath = true
-		return wfeibr.New(arena, cfg), nil
-	case "Leak":
-		return leak.New(arena, cfg), nil
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("schemes: unknown scheme %q", name)
 	}
-	return nil, fmt.Errorf("schemes: unknown scheme %q", name)
+	return f(arena, cfg), nil
 }

@@ -52,6 +52,10 @@ const (
 	// KindSegRefill: an empty local cache pulled a segment from the
 	// global list. A is the segment length.
 	KindSegRefill
+	// KindSchemeSwitch: the Domain swapped reclamation schemes. A is the
+	// outgoing SchemeKind, B the incoming one. Emitted on the shared ring
+	// (the switch runs with every guard released).
+	KindSchemeSwitch
 
 	kindCount
 )
@@ -73,6 +77,7 @@ var kindNames = [kindCount]string{
 	KindEraAdvance:   "era-advance",
 	KindSegSpill:     "seg-spill",
 	KindSegRefill:    "seg-refill",
+	KindSchemeSwitch: "scheme-switch",
 }
 
 func (k Kind) String() string {

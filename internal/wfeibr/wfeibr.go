@@ -102,7 +102,7 @@ func New(arena *mem.Arena, cfg reclaim.Config) *WFEIBR {
 		threads:   make([]threadState, n),
 	}
 	w.rt = reclaim.NewRetirer(arena, cfg, w)
-	w.globalEra.Store(1)
+	w.globalEra.Store(max(1, cfg.InitialEra))
 	for i := 0; i < n; i++ {
 		w.intervals[i].lower.Store(pack.Inf)
 		w.intervals[i].upper.Store(pack.Inf)

@@ -193,6 +193,8 @@ var families = []metric{
 		func(t wfe.Telemetry) uint64 { return t.GuardCacheHits }),
 	counter("wfe_guard_cache_misses", "Pin/guardless operations that missed the lease cache.",
 		func(t wfe.Telemetry) uint64 { return t.GuardCacheMisses }),
+	counter("wfe_scheme_switches", "Live scheme swaps completed by Domain.Switch.",
+		func(t wfe.Telemetry) uint64 { return t.SchemeSwitches }),
 	rateGauge("wfe_allocs_per_second", "EWMA block allocation rate (sampler).",
 		func(r wfe.SamplerRates) float64 { return r.AllocsPerSec }),
 	rateGauge("wfe_frees_per_second", "EWMA block recycle rate (sampler).",
@@ -212,6 +214,33 @@ var families = []metric{
 			}
 			return float64(r.rates.Ticks), true
 		}),
+}
+
+// escapeLabel renders a label value per the OpenMetrics ABNF, in which
+// exactly three escape sequences exist: `\\` for backslash, `\"` for
+// double-quote and `\n` for line feed. Every other byte — control
+// characters and non-ASCII UTF-8 included — is emitted raw. Go's %q is
+// not a substitute: it emits \x, \u and \r escapes for exotic runes,
+// which the format forbids and strict scrapers reject.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
 }
 
 // WriteOpenMetrics renders every registered source in the OpenMetrics
@@ -236,8 +265,8 @@ func (r *Registry) WriteOpenMetrics(w io.Writer) error {
 			if m.typ == "counter" {
 				sample += "_total"
 			}
-			vals = append(vals, fmt.Sprintf("%s{domain=%q,scheme=%q} %g",
-				sample, rw.name, rw.tel.Scheme, v))
+			vals = append(vals, fmt.Sprintf("%s{domain=\"%s\",scheme=\"%s\"} %g",
+				sample, escapeLabel(rw.name), escapeLabel(rw.tel.Scheme), v))
 		}
 		if len(vals) == 0 {
 			continue
@@ -260,8 +289,8 @@ func (r *Registry) WriteOpenMetrics(w io.Writer) error {
 		fmt.Fprintln(bw, "# HELP wfe_advisor_recommendation Live advisor scheme recommendation (1 = currently recommended).")
 		for _, rw := range rows {
 			if rw.rec != "" {
-				fmt.Fprintf(bw, "wfe_advisor_recommendation{domain=%q,scheme=%q,recommended=%q} 1\n",
-					rw.name, rw.tel.Scheme, rw.rec)
+				fmt.Fprintf(bw, "wfe_advisor_recommendation{domain=\"%s\",scheme=\"%s\",recommended=\"%s\"} 1\n",
+					escapeLabel(rw.name), escapeLabel(rw.tel.Scheme), escapeLabel(rw.rec))
 			}
 		}
 	}
@@ -387,6 +416,9 @@ func Validate(r io.Reader) error {
 			if !strings.HasPrefix(rest, "{") && !strings.HasPrefix(rest, " ") {
 				return fmt.Errorf("line %d: malformed sample %q", line, text)
 			}
+			if err := checkLabelEscapes(rest); err != nil {
+				return fmt.Errorf("line %d: %v", line, err)
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -396,6 +428,35 @@ func Validate(r io.Reader) error {
 		return fmt.Errorf("exposition does not end with # EOF")
 	}
 	return nil
+}
+
+// checkLabelEscapes walks a sample line's label section and rejects any
+// escape sequence outside the three the OpenMetrics ABNF defines (`\\`,
+// `\"`, `\n`). This is the guard against writers that quote label values
+// with Go's %q, whose \x/\u/\r escapes strict scrapers refuse to parse.
+func checkLabelEscapes(rest string) error {
+	if !strings.HasPrefix(rest, "{") {
+		return nil
+	}
+	inQuote := false
+	for i := 0; i < len(rest); i++ {
+		c := rest[i]
+		switch {
+		case inQuote && c == '\\':
+			i++
+			if i == len(rest) {
+				return fmt.Errorf("label section ends mid-escape: %q", rest)
+			}
+			if e := rest[i]; e != '\\' && e != '"' && e != 'n' {
+				return fmt.Errorf(`illegal escape \%c in label value (OpenMetrics defines only \\, \" and \n)`, e)
+			}
+		case c == '"':
+			inQuote = !inQuote
+		case !inQuote && c == '}':
+			return nil
+		}
+	}
+	return fmt.Errorf("unterminated label section %q", rest)
 }
 
 // Serve binds addr, serves the registry's handler on it in a background

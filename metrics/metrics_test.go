@@ -199,3 +199,67 @@ func TestValidateRejectsMalformed(t *testing.T) {
 		t.Errorf("Validate rejected well-formed exposition: %v", err)
 	}
 }
+
+// TestValidateRejectsIllegalEscapes pins the escape rule: OpenMetrics
+// label values know exactly three escapes (\\, \", \n); Go's %q emits
+// \x, \u and \r forms the format forbids, and Validate must catch them.
+func TestValidateRejectsIllegalEscapes(t *testing.T) {
+	header := "# TYPE x gauge\n# HELP x y\n"
+	bad := map[string]string{
+		"hex escape":     header + "x{l=\"a\\x01b\"} 1\n# EOF\n",
+		"unicode escape": header + "x{l=\"caf\\u00e9\"} 1\n# EOF\n",
+		"cr escape":      header + "x{l=\"a\\rb\"} 1\n# EOF\n",
+		"tab escape":     header + "x{l=\"a\\tb\"} 1\n# EOF\n",
+		"dangling slash": header + "x{l=\"a\\\"} 1\n# EOF\n",
+	}
+	for name, text := range bad {
+		if err := Validate(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: Validate accepted an illegal label escape", name)
+		}
+	}
+	legal := map[string]string{
+		"backslash":      header + "x{l=\"a\\\\b\"} 1\n# EOF\n",
+		"quote":          header + "x{l=\"a\\\"b\"} 1\n# EOF\n",
+		"newline":        header + "x{l=\"a\\nb\"} 1\n# EOF\n",
+		"raw utf8":       header + "x{l=\"café ü\"} 1\n# EOF\n",
+		"raw control":    header + "x{l=\"a\x01b\"} 1\n# EOF\n",
+		"brace in value": header + "x{l=\"a}b\"} 1\n# EOF\n",
+	}
+	for name, text := range legal {
+		if err := Validate(strings.NewReader(text)); err != nil {
+			t.Errorf("%s: Validate rejected a legal exposition: %v", name, err)
+		}
+	}
+}
+
+// TestOpenMetricsEscapesHostileDomainName is the writer-side regression
+// for the %q bug: a domain registered under a name containing a control
+// character, a non-ASCII rune, quotes and backslashes must export as an
+// exposition that both our Validate and the spec's escaping rules
+// accept — raw UTF-8 for the exotic runes, backslash escapes for the
+// three defined ones.
+func TestOpenMetricsEscapesHostileDomainName(t *testing.T) {
+	d := newDomain(t)
+	churn(t, d)
+	reg := NewRegistry()
+	hostile := "café \x01 \"quoted\\path\"\nline2"
+	reg.Register(hostile, d.Telemetry)
+
+	var buf bytes.Buffer
+	if err := reg.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if err := Validate(strings.NewReader(text)); err != nil {
+		t.Fatalf("hostile domain name produced an invalid exposition: %v\n%s", err, text)
+	}
+	want := `domain="caf` + "é \x01" + ` \"quoted\\path\"\nline2"`
+	if !strings.Contains(text, want) {
+		t.Errorf("exposition does not contain the spec-escaped label %q", want)
+	}
+	for _, illegal := range []string{`\x`, `\u`} {
+		if strings.Contains(text, illegal) {
+			t.Errorf("exposition contains the forbidden %q escape:\n%s", illegal, text)
+		}
+	}
+}

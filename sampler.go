@@ -20,6 +20,17 @@ type SamplerConfig struct {
 	// every time the live recommendation's signature changes (including
 	// the first tick). Keep it fast; it blocks the next tick.
 	OnRecommendation func(advisor.Recommendation)
+	// AutoSwitch arms the sampler's hysteresis trigger: once the live
+	// recommendation has named the same non-current scheme for
+	// AutoSwitchAfter consecutive ticks, the sampler calls the Domain's
+	// Switch (on the sampler goroutine). Set by Options.AutoSwitch; it has
+	// no effect on a Sampler the Domain did not wire a switch hook into.
+	AutoSwitch bool
+	// AutoSwitchAfter is the hysteresis depth (default 3 when AutoSwitch
+	// is set). A streak resets whenever the recommendation returns to the
+	// current scheme or names a different candidate, so a flapping advisor
+	// never triggers.
+	AutoSwitchAfter int
 }
 
 // SamplerRates is the derived-rate view over the sampler's recent ticks:
@@ -54,10 +65,28 @@ type Sampler struct {
 	history  int
 	onRec    func(advisor.Recommendation)
 
-	mu     sync.Mutex
-	hist   []TelemetrySample // ring, hist[(n-len)..n) in tick order
-	n      int               // total ticks collected
+	// Auto-switch wiring, installed by Domain.StartSampler before run.
+	// switchTo asks the Domain to switch to the named scheme; current
+	// reports the live scheme's legend name. Both nil when AutoSwitch is
+	// off. streak/candidate are the hysteresis state: candidate is the
+	// recommended non-current scheme being counted, streak how many
+	// consecutive ticks have named it.
+	switchTo  func(name string) error
+	current   func() string
+	autoAfter int
+	candidate string
+	streak    int
+
+	mu sync.Mutex
+	// hist is a true circular buffer: it grows by append until it reaches
+	// the history bound, then head marks the oldest entry and each tick
+	// overwrites in place — O(1) per tick where a slide would memmove the
+	// whole window.
+	hist   []TelemetrySample
+	head   int
+	n      int // total ticks collected
 	rates  SamplerRates
+	seeded bool // EWMAs hold a measured rate (not the zero value)
 	mon    *advisor.Monitor
 	rec    advisor.Recommendation
 	hasRec bool
@@ -80,15 +109,23 @@ func newSampler(sample func() TelemetrySample, cfg SamplerConfig) *Sampler {
 	if cfg.History <= 0 {
 		cfg.History = 600
 	}
+	autoAfter := 0
+	if cfg.AutoSwitch {
+		autoAfter = cfg.AutoSwitchAfter
+		if autoAfter <= 0 {
+			autoAfter = 3
+		}
+	}
 	return &Sampler{
-		sample:   sample,
-		interval: cfg.Interval,
-		history:  cfg.History,
-		onRec:    cfg.OnRecommendation,
-		mon:      advisor.NewMonitor(cfg.History),
-		rates:    SamplerRates{Interval: cfg.Interval},
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
+		sample:    sample,
+		interval:  cfg.Interval,
+		history:   cfg.History,
+		onRec:     cfg.OnRecommendation,
+		autoAfter: autoAfter,
+		mon:       advisor.NewMonitor(cfg.History),
+		rates:     SamplerRates{Interval: cfg.Interval},
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
 	}
 }
 
@@ -102,24 +139,27 @@ func (s *Sampler) run() {
 			case <-s.stop:
 				return
 			case <-ticker.C:
-				s.tick()
+				s.tick(time.Now())
 			}
 		}
 	}()
 }
 
-// tick collects one sample and updates history, rates and the monitor.
-func (s *Sampler) tick() {
+// tick collects one sample at the given wall time and updates history,
+// rates, the monitor and (when armed) the auto-switch trigger. The clock
+// is a parameter so tests drive deterministic tick spacing.
+func (s *Sampler) tick(now time.Time) {
 	row := s.sample()
-	now := time.Now()
 
 	s.mu.Lock()
 	first := s.n == 0
 	if len(s.hist) < s.history {
 		s.hist = append(s.hist, row)
 	} else {
-		copy(s.hist, s.hist[1:])
-		s.hist[len(s.hist)-1] = row
+		s.hist[s.head] = row
+		if s.head++; s.head == len(s.hist) {
+			s.head = 0
+		}
 	}
 	tickIdx := s.n
 	s.n++
@@ -128,7 +168,14 @@ func (s *Sampler) tick() {
 		dt := now.Sub(s.prevTime).Seconds()
 		if dt > 0 {
 			p := s.prev
+			// The first measured rate seeds each EWMA outright: blending
+			// it against the zero initial value would report every rate a
+			// factor of alpha low until enough ticks wash the zero out.
 			blend := func(cur *float64, inst float64) {
+				if !s.seeded {
+					*cur = inst
+					return
+				}
 				*cur = (1-ewmaAlpha)*(*cur) + ewmaAlpha*inst
 			}
 			blend(&s.rates.AllocsPerSec, float64(row.Allocs-p.Allocs)/dt)
@@ -141,6 +188,7 @@ func (s *Sampler) tick() {
 			retires := float64(row.Frees-p.Frees) + float64(row.Unreclaimed-p.Unreclaimed)
 			blend(&s.rates.RetiresPerSec, retires/dt)
 			blend(&s.rates.ParksPerTick, float64(row.GuardParks-p.GuardParks))
+			s.seeded = true
 		}
 	}
 	s.rates.Ticks = s.n
@@ -162,6 +210,35 @@ func (s *Sampler) tick() {
 	if changed && cb != nil {
 		cb(rec)
 	}
+	s.maybeSwitch(rec)
+}
+
+// maybeSwitch advances the auto-switch hysteresis with this tick's
+// recommendation and fires the Domain switch once a candidate has held
+// for autoAfter consecutive ticks. Runs outside the sampler mutex — the
+// switch gates guard acquisition and must not hold sampler state hostage
+// while it drains. The hysteresis fields are sampler-goroutine-private.
+func (s *Sampler) maybeSwitch(rec advisor.Recommendation) {
+	if s.autoAfter == 0 || s.switchTo == nil || s.current == nil {
+		return
+	}
+	want := rec.Scheme
+	if want == "" || want == s.current() {
+		s.candidate, s.streak = "", 0
+		return
+	}
+	if want != s.candidate {
+		s.candidate, s.streak = want, 1
+	} else {
+		s.streak++
+	}
+	if s.streak >= s.autoAfter {
+		s.candidate, s.streak = "", 0
+		// An error here means the advisor named a scheme the registry
+		// does not know — nothing the sampler can do beyond not crashing;
+		// the streak reset stops it retrying every tick.
+		_ = s.switchTo(want)
+	}
 }
 
 // Interval returns the configured sampling tick.
@@ -174,12 +251,15 @@ func (s *Sampler) Ticks() int {
 	return s.n
 }
 
-// History returns a copy of the retained samples, oldest first.
+// History returns a copy of the retained samples, oldest first. The
+// internal buffer is circular; the copy unrolls it, so callers never see
+// the wrap point.
 func (s *Sampler) History() []TelemetrySample {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]TelemetrySample, len(s.hist))
-	copy(out, s.hist)
+	n := copy(out, s.hist[s.head:])
+	copy(out[n:], s.hist[:s.head])
 	return out
 }
 

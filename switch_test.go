@@ -1,0 +1,246 @@
+package wfe_test
+
+// Live scheme switching under churn: every ordered scheme pair must
+// survive a mid-storm Domain.Switch with the workload still running, and
+// the Domain must settle to a clean quiescent census afterwards — the
+// acceptance bar for the drain-and-swap design. Run with -race: the
+// interesting failures here are ordering bugs between the guard gate, the
+// backlog drain and the scheme swap, exactly what the race detector sees.
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wfe"
+	"wfe/internal/quiesce"
+)
+
+// switchChurn runs a guardless stack storm over a Domain born on `from`,
+// switches it to `to` mid-storm, keeps churning on the new scheme, then
+// settles and audits the arena. Workers use only guardless operations:
+// they never hold a guard across the switch, so the gate's drain always
+// completes.
+func switchChurn(t *testing.T, from, to wfe.SchemeKind) {
+	t.Helper()
+	d, err := wfe.NewDomain[int](wfe.Options{
+		Scheme: from,
+		// Generous for the Leak endpoints: a Leak origin never recycles a
+		// block, so the arena must hold every pre-switch allocation. The
+		// aggressive EraFreq/CleanupFreq match the rest of the test suite:
+		// Settle's fixed scratch churn must be enough to advance the clock
+		// past the storm's last retire window.
+		Capacity:    1 << 16,
+		MaxGuards:   4,
+		EraFreq:     32,
+		CleanupFreq: 8,
+		Debug:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := wfe.NewStack[int](d)
+
+	const opsPerWorker = 6000
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ops := 0; !stop.Load() && ops < opsPerWorker; ops++ {
+				s.Push(ops)
+				if ops%2 == 1 {
+					s.Pop()
+				}
+			}
+		}()
+	}
+
+	time.Sleep(500 * time.Microsecond) // let the storm develop on `from`
+	if err := d.Switch(to); err != nil {
+		t.Fatalf("Switch(%v -> %v): %v", from, to, err)
+	}
+	if got := d.Scheme(); got != to {
+		t.Fatalf("Scheme() = %v after Switch, want %v", got, to)
+	}
+	time.Sleep(500 * time.Microsecond) // and churn on `to` for a while
+	stop.Store(true)
+	wg.Wait()
+
+	for {
+		if _, ok := s.Pop(); !ok {
+			break
+		}
+	}
+	quiesce.Settle(d)
+	if err := quiesce.Check(d, to != wfe.Leak); err != nil {
+		t.Errorf("post-switch census (%v -> %v): %v", from, to, err)
+	}
+	if n := d.Telemetry().SchemeSwitches; n != 1 {
+		t.Errorf("SchemeSwitches = %d, want 1", n)
+	}
+}
+
+// TestSwitchMatrixUnderChurn covers all 7x6 ordered pairs. Short mode
+// keeps only the pairs touching WFE and EBR — the wait-free contribution
+// and the scheme whose reservations (epoch announcements) differ most
+// from everyone else's.
+func TestSwitchMatrixUnderChurn(t *testing.T) {
+	for _, from := range wfe.AllSchemes() {
+		for _, to := range wfe.AllSchemes() {
+			if from == to {
+				continue
+			}
+			if testing.Short() && from != wfe.WFE && to != wfe.WFE && from != wfe.EBR && to != wfe.EBR {
+				continue
+			}
+			from, to := from, to
+			t.Run(from.String()+"_to_"+to.String(), func(t *testing.T) {
+				switchChurn(t, from, to)
+			})
+		}
+	}
+}
+
+// TestSwitchToSameKindIsNoop pins the fast path: switching to the current
+// scheme must not pause, drain, rebuild or count anything.
+func TestSwitchToSameKindIsNoop(t *testing.T) {
+	d, err := wfe.NewDomain[int](wfe.Options{Capacity: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Switch(wfe.WFE); err != nil {
+		t.Fatal(err)
+	}
+	if n := d.Telemetry().SchemeSwitches; n != 0 {
+		t.Errorf("no-op switch counted: SchemeSwitches = %d, want 0", n)
+	}
+}
+
+// TestSwitchChainEraFloor walks a chain of switches through every scheme
+// (era-clocked and clock-less interleaved) with live blocks surviving
+// each hop, then frees them all. The era-floor seeding is what keeps the
+// stale allocation stamps on those survivors below each new clock; a
+// regression here shows up as a premature free under Debug's
+// use-after-free tripwire or a stuck backlog at the end.
+func TestSwitchChainEraFloor(t *testing.T) {
+	d, err := wfe.NewDomain[int](wfe.Options{
+		Scheme: wfe.WFE, Capacity: 1 << 14, MaxGuards: 4,
+		EraFreq: 32, CleanupFreq: 8, Debug: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := wfe.NewStack[int](d)
+	chain := []wfe.SchemeKind{wfe.EBR, wfe.HP, wfe.HE, wfe.Leak, wfe.TwoGEIBR, wfe.WFEIBR, wfe.WFE}
+	for hop, kind := range chain {
+		// Survivors allocated under the previous scheme stay live across
+		// the swap; churn retires a few under the new one right after.
+		for i := 0; i < 64; i++ {
+			s.Push(hop*1000 + i)
+		}
+		if err := d.Switch(kind); err != nil {
+			t.Fatalf("hop %d -> %v: %v", hop, kind, err)
+		}
+		for i := 0; i < 32; i++ {
+			s.Pop()
+		}
+	}
+	for {
+		if _, ok := s.Pop(); !ok {
+			break
+		}
+	}
+	quiesce.Settle(d)
+	if err := quiesce.Check(d, true); err != nil {
+		t.Errorf("census after the switch chain: %v", err)
+	}
+	if n := d.Telemetry().SchemeSwitches; n != uint64(len(chain)) {
+		t.Errorf("SchemeSwitches = %d, want %d", n, len(chain))
+	}
+}
+
+// TestSwitchUnknownKindFailsFast pins the validation order: an unknown
+// kind must error before the Domain pauses anything.
+func TestSwitchUnknownKindFailsFast(t *testing.T) {
+	d, err := wfe.NewDomain[int](wfe.Options{Capacity: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Switch(wfe.SchemeKind(99)); err == nil {
+		t.Fatal("Switch(99) succeeded, want error")
+	}
+	// The Domain must still be fully usable (nothing gated).
+	g, ok := d.TryGuard()
+	if !ok {
+		t.Fatal("guards unavailable after a rejected Switch")
+	}
+	g.Release()
+}
+
+// TestSwitchBlocksGuardAcquisition asserts the gate semantics callers
+// see: during a switch, Guard() parks instead of panicking and completes
+// once the swap finishes.
+func TestSwitchBlocksGuardAcquisition(t *testing.T) {
+	d, err := wfe.NewDomain[int](wfe.Options{Capacity: 1 << 12, MaxGuards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			g, err := d.AcquireGuard(context.Background())
+			if err != nil {
+				t.Errorf("AcquireGuard during switches: %v", err)
+				return
+			}
+			g.Release()
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		target := wfe.EBR
+		if i%2 == 1 {
+			target = wfe.WFE
+		}
+		if err := d.Switch(target); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+}
+
+// TestTelemetryMonotoneAcrossSwitch pins the carry: cumulative scan
+// counters must never step backwards over a swap, or every Sampler
+// trajectory recorded across one turns to garbage.
+func TestTelemetryMonotoneAcrossSwitch(t *testing.T) {
+	d, err := wfe.NewDomain[int](wfe.Options{Scheme: wfe.HE, Capacity: 1 << 14, MaxGuards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := wfe.NewStack[int](d)
+	for i := 0; i < 4000; i++ {
+		s.Push(i)
+		s.Pop()
+	}
+	before := d.Telemetry()
+	if before.ScanScans == 0 {
+		t.Fatal("churn produced no cleanup scans; the carry assertion below would be vacuous")
+	}
+	if err := d.Switch(wfe.TwoGEIBR); err != nil {
+		t.Fatal(err)
+	}
+	after := d.Telemetry()
+	if after.ScanScans < before.ScanScans {
+		t.Errorf("ScanScans went backwards across the switch: %d -> %d", before.ScanScans, after.ScanScans)
+	}
+	if after.ScanBlocks < before.ScanBlocks {
+		t.Errorf("ScanBlocks went backwards across the switch: %d -> %d", before.ScanBlocks, after.ScanBlocks)
+	}
+	if after.MaxSteps < before.MaxSteps {
+		t.Errorf("MaxSteps went backwards across the switch: %d -> %d", before.MaxSteps, after.MaxSteps)
+	}
+}

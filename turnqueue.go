@@ -34,7 +34,7 @@ type TurnQueue[T any] struct {
 func NewTurnQueue[T any](d *Domain[T]) *TurnQueue[T] {
 	g := d.Pin()
 	defer d.Unpin(g)
-	return &TurnQueue[T]{d: d, q: crturn.NewTid(d.smr, d.guards.Cap(), g.tid)}
+	return &TurnQueue[T]{d: d, q: crturn.NewTid(liveScheme[T]{d}, d.guards.Cap(), g.tid)}
 }
 
 // Enqueue appends v.

@@ -33,7 +33,7 @@ type WFQueue[T any] struct {
 func NewWFQueue[T any](d *Domain[T]) *WFQueue[T] {
 	g := d.Pin()
 	defer d.Unpin(g)
-	return &WFQueue[T]{d: d, q: kpqueue.NewTid(d.smr, d.guards.Cap(), g.tid)}
+	return &WFQueue[T]{d: d, q: kpqueue.NewTid(liveScheme[T]{d}, d.guards.Cap(), g.tid)}
 }
 
 // Enqueue appends v.
