@@ -2,6 +2,7 @@ package wfe
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -159,11 +160,14 @@ type Options struct {
 	// (or Domain.Sampler().Stop()) before teardown.
 	SampleEvery time.Duration
 	// AutoSwitch arms the adaptive runtime: the auto-started Sampler calls
-	// Domain.Switch whenever the live advisor recommendation has named the
-	// same non-current scheme for AutoSwitchAfter consecutive ticks. It
-	// requires SampleEvery (the sampler is the trigger source). The switch
-	// runs on the sampler goroutine and briefly gates guard acquisition;
-	// see Switch for the drain-and-swap semantics.
+	// Domain.SwitchWithin whenever the live advisor recommendation has
+	// named the same non-current scheme for AutoSwitchAfter consecutive
+	// ticks. It requires SampleEvery (the sampler is the trigger source).
+	// The switch runs on the sampler goroutine and briefly gates guard
+	// acquisition with a bounded drain wait: explicit Guards held across
+	// sampler ticks make the attempt abort (and retry on a later streak)
+	// instead of stalling the Domain. See Switch for the drain-and-swap
+	// semantics.
 	AutoSwitch bool
 	// AutoSwitchAfter is the hysteresis depth: consecutive identical
 	// verdicts required before AutoSwitch acts (default 3). A flapping
@@ -386,22 +390,32 @@ func (d *Domain[T]) Scheme() SchemeKind { return d.scheme().kind }
 //
 // While a live scheme switch has acquisition gated, Guard blocks until the
 // switch completes instead of panicking — the guards are all free then,
-// just briefly withheld, which is the opposite of a sizing bug.
+// just briefly withheld, which is the opposite of a sizing bug. The panic
+// fires only when the pool was provably unpaused for the whole failed
+// attempt: the pause sequence number is read before and after, and any
+// switch whose gate could have caused the failure changes it.
 func (d *Domain[T]) Guard() *Guard[T] {
-	if g, ok := d.TryGuard(); ok {
-		return g
-	}
-	if !d.guards.Paused() {
-		// Re-poll once: the failed TryGuard may have raced a switch that
-		// has since resumed, and panicking then would blame a sizing bug
-		// that never existed.
+	for {
+		seq := d.guards.PauseSeq()
+		if seq&1 == 1 {
+			// A switch is in flight; park until it resumes, then rejudge
+			// from scratch — never commit to an unbounded blocking acquire
+			// here, or a genuine sizing bug that raced a switch would hang
+			// silently instead of panicking with the diagnostic.
+			d.guards.AwaitResume()
+			continue
+		}
 		if g, ok := d.TryGuard(); ok {
 			return g
 		}
-		panic("wfe: all guards in use; raise Options.MaxGuards, Release an idle guard, or block with AcquireGuard")
+		if d.guards.PauseSeq() == seq {
+			// No pause epoch began or ended across the failed try, so the
+			// gate cannot be what failed it: all guards really are held.
+			panic("wfe: all guards in use; raise Options.MaxGuards, Release an idle guard, or block with AcquireGuard")
+		}
+		// A switch overlapped the try; the failure may have been its gate,
+		// not exhaustion. Loop and rejudge.
 	}
-	g, _ := d.AcquireGuard(context.Background()) // never errs: ctx has no deadline
-	return g
 }
 
 // TryGuard acquires a guard without blocking, reporting false when all are
@@ -834,7 +848,13 @@ func (d *Domain[T]) StartSampler(cfg SamplerConfig) *Sampler {
 					if err != nil {
 						return err
 					}
-					return d.Switch(kind)
+					// Bounded drain: a sampler-triggered switch must never
+					// gate the Domain indefinitely. Programs that hold
+					// explicit guards across sampler ticks (a legitimate
+					// fixed-worker pattern) would otherwise wedge every
+					// acquirer — and Close, which waits for the sampler
+					// goroutine stuck inside Switch.
+					return d.SwitchWithin(kind, autoSwitchDrainBound)
 				}
 				s.current = func() string { return d.Scheme().String() }
 			}
@@ -900,8 +920,30 @@ func (d *Domain[T]) Close() error {
 //
 // Switch serializes with itself; concurrent calls queue. Switching to the
 // current kind is a no-op. It returns an error only for an unknown kind —
-// a swap that starts always completes.
-func (d *Domain[T]) Switch(kind SchemeKind) error {
+// a swap that starts always completes. That also means Switch waits as
+// long as it takes for held guards to come home: a program holding an
+// explicit Guard for a worker's lifetime must release it (or use
+// SwitchWithin) or Switch blocks, gate down, until it does.
+func (d *Domain[T]) Switch(kind SchemeKind) error { return d.switchWithin(kind, 0) }
+
+// ErrSwitchBusy is returned by SwitchWithin when in-flight guards did not
+// drain within the wait bound. The switch is aborted cleanly: the gate is
+// lifted, the scheme unchanged, and the Domain fully usable.
+var ErrSwitchBusy = errors.New("wfe: scheme switch aborted: held guards did not drain within the wait bound")
+
+// SwitchWithin is Switch with a bounded drain wait: if some guard is still
+// held drainWait after the gate drops — a long-lived explicit Guard, or an
+// operation wedged on something external — the switch aborts with
+// ErrSwitchBusy instead of gating the Domain indefinitely. A drainWait of
+// zero or less waits forever (plain Switch). This is the variant
+// AutoSwitch uses: a sampler must never wedge the Domain (and Close) on a
+// switch that cannot complete because the program legitimately holds
+// guards across ticks.
+func (d *Domain[T]) SwitchWithin(kind SchemeKind, drainWait time.Duration) error {
+	return d.switchWithin(kind, drainWait)
+}
+
+func (d *Domain[T]) switchWithin(kind SchemeKind, drainWait time.Duration) error {
 	// Resolve the factory before gating anything: an unknown kind must not
 	// cost the Domain a pause.
 	factory, ok := schemes.Lookup(kind.String())
@@ -918,13 +960,28 @@ func (d *Domain[T]) Switch(kind SchemeKind) error {
 	// Gate new acquisitions and wait for the in-flight set to drain. The
 	// lease cache is flushed inside the loop: an operation that was mid
 	// Unpin when the gate dropped may park its guard in the cache after our
-	// previous flush, and only a flush moves it back where Free can see it.
+	// previous flush, and only a flush releases it back to the pool.
+	// Quiescence is Held()==0 — the pool's checked-out count, whose
+	// increment/re-check protocol guarantees that once it reads zero with
+	// the gate down, no released guard's reservation is live and no
+	// acquirer can establish a new one before Resume (a racing pop is
+	// forced to back out by its own gate re-check). Never Free's racy
+	// freelist walk: that can count a concurrently popped id as free and
+	// let the drain below run while a live operation still protects a
+	// block.
+	var deadline time.Time
+	if drainWait > 0 {
+		deadline = time.Now().Add(drainWait)
+	}
 	d.guards.Pause()
 	defer d.guards.Resume()
 	for spins := 0; ; spins++ {
 		d.FlushGuardCache()
-		if d.guards.Free() == d.guards.Cap() {
+		if d.guards.Held() == 0 {
 			break
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return ErrSwitchBusy
 		}
 		if spins < 128 {
 			runtime.Gosched()

@@ -67,12 +67,28 @@ type Pool struct {
 	acquires atomic.Uint64
 	parks    atomic.Uint64
 
+	// held counts ids checked out of the pool — not on the freelist and
+	// not parked in the handoff channel. Unlike Free's freelist walk it is
+	// exact at the one moment exactness matters: every successful pop or
+	// handoff receive increments it BEFORE the acquirer's post-acquire gate
+	// re-check, and Release decrements it only AFTER the id is visibly back,
+	// so once a pauser (gate stored) reads held == 0, no acquirer can be
+	// holding an id it will use — any later gate re-check sees the gate and
+	// backs out. Transient over-counts (an acquirer about to back out) only
+	// make the pauser wait longer, never proceed early.
+	held atomic.Int64
+
 	// gate, when non-nil, is the pause epoch: new acquisitions wait on the
 	// channel it points to until Resume closes it. pauseMu serializes
 	// pausers (held from Pause to Resume) so overlapping pause epochs
-	// cannot interleave their gate swaps.
-	gate    atomic.Pointer[chan struct{}]
-	pauseMu sync.Mutex
+	// cannot interleave their gate swaps. pauseSeq increments on every
+	// Pause (to odd) and every Resume (to even): an acquirer that reads it
+	// equal and even around a failed acquisition knows no pause epoch
+	// overlapped the attempt — the failure was genuine exhaustion, not the
+	// gate.
+	gate     atomic.Pointer[chan struct{}]
+	pauseMu  sync.Mutex
+	pauseSeq atomic.Uint64
 
 	// tracer, when set before use, receives guard lifecycle events
 	// (acquire, park, cancel). Nil costs one branch per event site.
@@ -129,12 +145,17 @@ func (p *Pool) pop() (int, bool) {
 // Pause gates new acquisitions: until Resume, TryAcquire reports no free
 // ids and Acquire parks on the pause epoch instead of the freelist. Ids
 // already held stay held — Pause does not revoke anything; the pauser
-// waits for them to drain back (Free reaching Cap) itself. Releases during
-// a pause always go to the freelist, never to a parked waiter, so the
-// freed set only grows and Free's quiescent walk is exact. Concurrent
+// waits for them to drain back (Held reaching 0) itself. Releases during
+// a pause always go to the freelist, never to a parked waiter — a handoff
+// that slips across the pause boundary is backed out by the receiver's
+// gate re-check — so the freed set only grows while paused. Concurrent
 // pausers serialize: the second Pause blocks until the first Resume.
 func (p *Pool) Pause() {
 	p.pauseMu.Lock()
+	// The sequence increment precedes the gate store: any acquirer whose
+	// failed attempt raced this gate sees the sequence change and knows a
+	// pause overlapped it (see Pool.pauseSeq).
+	p.pauseSeq.Add(1)
 	ch := make(chan struct{})
 	p.gate.Store(&ch)
 }
@@ -143,23 +164,71 @@ func (p *Pool) Pause() {
 func (p *Pool) Resume() {
 	ch := p.gate.Swap(nil)
 	close(*ch)
+	p.pauseSeq.Add(1)
 	p.pauseMu.Unlock()
 }
 
 // Paused reports whether a pause epoch is in effect.
 func (p *Pool) Paused() bool { return p.gate.Load() != nil }
 
+// PauseSeq returns the pause sequence number: odd while a pause epoch is
+// in effect, even otherwise, incremented on every Pause and Resume. A
+// caller that reads it even-and-unchanged around a failed TryAcquire has
+// proof no pause overlapped the attempt — the pool was genuinely
+// exhausted, not gated.
+func (p *Pool) PauseSeq() uint64 { return p.pauseSeq.Load() }
+
+// AwaitResume parks the caller until the current pause epoch (if any)
+// ends. It acquires nothing; callers loop back to their acquisition path
+// after it returns.
+func (p *Pool) AwaitResume() {
+	if g := p.gate.Load(); g != nil {
+		<-*g
+	}
+}
+
+// Held reports how many ids are checked out of the pool. Unlike Free it
+// is exact for quiescence detection under a pause epoch: once a pauser
+// reads 0 after storing the gate, no acquirer holds an id it will keep —
+// at most one is in the instant between a pop and its gate re-check, and
+// that re-check either sees the gate (the id goes straight back to the
+// freelist, untouched) or post-dates Resume. Nothing acquired before the
+// read can still be live, and nothing acquired after it can act before
+// the pause ends.
+func (p *Pool) Held() int { return int(p.held.Load()) }
+
+// obtained runs the post-acquire commit protocol on an id just popped or
+// received: count it held, then re-check the gate. The increment-then-
+// recheck order is what makes a pauser's Held()==0 read exact — if the
+// re-check saw no gate, the increment is ordered before the pauser's
+// read; if it saw one, the id goes straight back to the freelist (during
+// a pause the freelist is the only legal destination) and the caller
+// treats the attempt as gated.
+func (p *Pool) obtained(tid int) bool {
+	p.held.Add(1)
+	if p.Paused() {
+		p.pushFree(tid)
+		p.held.Add(-1)
+		return false
+	}
+	return true
+}
+
 // TryAcquire pops a free id, reporting false when none is free. Ids that
 // Release handed to parked waiters are reserved: TryAcquire only drains
 // the handoff channel when nobody is registered to park (a waiter that
 // left without its id — context cancelled, or satisfied from the caller's
 // spare supply — strands it there until someone claims it). During a
-// pause epoch it always reports false.
+// pause epoch it always reports false, even when the pop raced the gate
+// going up — the id is returned and the attempt reported gated.
 func (p *Pool) TryAcquire() (int, bool) {
 	if p.Paused() {
 		return 0, false
 	}
 	if tid, ok := p.pop(); ok {
+		if !p.obtained(tid) {
+			return 0, false
+		}
 		p.acquires.Add(1)
 		p.tracer.Emit(tid, trace.KindGuardAcquire, trace.AcquireFreelist, 0)
 		return tid, true
@@ -167,6 +236,9 @@ func (p *Pool) TryAcquire() (int, bool) {
 	if p.waiters.Load() == 0 {
 		select {
 		case tid := <-p.hand:
+			if !p.obtained(tid) {
+				return 0, false
+			}
 			p.acquires.Add(1)
 			p.tracer.Emit(tid, trace.KindGuardAcquire, trace.AcquireHandoff, 0)
 			return tid, true
@@ -185,16 +257,27 @@ func (p *Pool) TryAcquire() (int, bool) {
 // its caller the same way the schemes trust their tids.
 func (p *Pool) Release(tid int) {
 	// During a pause the freelist is the only destination: a handoff would
-	// let a cycling waiter chain acquisitions through the gate, and the
-	// pauser's quiescence walk (Free) counts only the freelist and the
-	// already-stranded channel ids.
+	// let a cycling waiter chain acquisitions through the gate. The check
+	// can race the gate going up — a send that slips through mid-pause is
+	// backed out by the receiving waiter's own gate re-check (it pushes
+	// the id to the freelist and parks), so the invariant holds either
+	// way. The held decrement comes after the id is visibly back, so a
+	// pauser never reads Held()==0 while a release is still in flight.
 	if !p.Paused() && p.waiters.Load() > 0 {
 		select {
 		case p.hand <- tid:
+			p.held.Add(-1)
 			return
 		default: // buffer can only fill if callers over-release; fall through
 		}
 	}
+	p.pushFree(tid)
+	p.held.Add(-1)
+}
+
+// pushFree pushes an id onto the freelist: the versioned-head CAS loop
+// shared by Release and the gated-acquisition back-out paths.
+func (p *Pool) pushFree(tid int) {
 	for {
 		h := p.head.Load()
 		p.slots[tid].next.Store(uint32(h))
@@ -251,6 +334,9 @@ func (p *Pool) Acquire(ctx context.Context, spare func() (int, bool)) (int, erro
 		}
 		if spare != nil {
 			if tid, ok := spare(); ok {
+				// A spare id was already checked out of the pool when the
+				// caller cached it, so held is untouched: from the pool's
+				// view it stays held, just under a new owner.
 				p.acquires.Add(1)
 				p.tracer.Emit(tid, trace.KindGuardAcquire, trace.AcquireFreelist, 0)
 				return tid, nil
@@ -263,6 +349,9 @@ func (p *Pool) Acquire(ctx context.Context, spare func() (int, bool)) (int, erro
 		p.waiters.Add(1)
 		if tid, ok := p.pop(); ok {
 			p.waiters.Add(-1)
+			if !p.obtained(tid) {
+				continue // gated mid-pop; back to the pause epoch check
+			}
 			p.acquires.Add(1)
 			p.tracer.Emit(tid, trace.KindGuardAcquire, trace.AcquireFreelist, 0)
 			return tid, nil
@@ -277,6 +366,13 @@ func (p *Pool) Acquire(ctx context.Context, spare func() (int, bool)) (int, erro
 		select {
 		case tid := <-p.hand:
 			p.waiters.Add(-1)
+			if !p.obtained(tid) {
+				// The handoff crossed a pause boundary (Release's gate check
+				// raced the gate store): the id went back to the freelist,
+				// and this waiter parks on the pause epoch like everyone
+				// else. It re-registers after Resume.
+				continue
+			}
 			p.acquires.Add(1)
 			p.tracer.Emit(tid, trace.KindGuardAcquire, trace.AcquireHandoff, 0)
 			return tid, nil
@@ -306,7 +402,10 @@ func (p *Pool) Waiters() int { return int(p.waiters.Load()) }
 // them). The walk is bounded and every read is in-range, so it is always
 // safe to call, but the count is only meaningful when the pool is
 // quiescent — concurrent pops and pushes can make a racing walk over- or
-// under-count.
+// under-count (a racing pop can even leave a popped id's next pointer
+// visible to the walk, over-counting a held id as free). It is a stats
+// view; quiescence detection must use Held, which is exact under a pause
+// epoch.
 func (p *Pool) Free() int {
 	n := len(p.hand)
 	idx := uint32(p.head.Load())

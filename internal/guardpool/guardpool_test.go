@@ -2,6 +2,7 @@ package guardpool
 
 import (
 	"context"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -199,6 +200,157 @@ func TestAcquireSpare(t *testing.T) {
 	})
 	if err != nil || id != 0 {
 		t.Fatalf("Acquire = %d,%v", id, err)
+	}
+}
+
+// TestHeldCounting pins the exact checked-out count Switch's quiescence
+// wait relies on: up on acquire, down on release, zero on a quiescent
+// pool, untouched by gated attempts.
+func TestHeldCounting(t *testing.T) {
+	p := New(2)
+	if p.Held() != 0 {
+		t.Fatalf("Held = %d on a fresh pool, want 0", p.Held())
+	}
+	a, _ := p.TryAcquire()
+	b, _ := p.TryAcquire()
+	if p.Held() != 2 {
+		t.Fatalf("Held = %d with both ids out, want 2", p.Held())
+	}
+	p.Release(a)
+	if p.Held() != 1 {
+		t.Fatalf("Held = %d after one release, want 1", p.Held())
+	}
+	p.Pause()
+	if _, ok := p.TryAcquire(); ok {
+		t.Fatal("TryAcquire succeeded during a pause")
+	}
+	if p.Held() != 1 {
+		t.Fatalf("Held = %d after a gated TryAcquire, want 1 (gated attempts must not leak)", p.Held())
+	}
+	p.Release(b)
+	if p.Held() != 0 {
+		t.Fatalf("Held = %d after releasing during the pause, want 0", p.Held())
+	}
+	p.Resume()
+	if p.Free() != 2 {
+		t.Fatalf("Free = %d after resume, want 2", p.Free())
+	}
+}
+
+// TestPausedReleaseGoesToFreelist: with a waiter parked, a Release during
+// a pause must feed the freelist — not the handoff channel, which would
+// chain a new acquisition through the gate and break the pauser's
+// Held()==0 quiescence.
+func TestPausedReleaseGoesToFreelist(t *testing.T) {
+	p := New(1)
+	tid, _ := p.TryAcquire()
+	got := make(chan int)
+	go func() {
+		id, err := p.Acquire(context.Background(), nil)
+		if err != nil {
+			t.Errorf("Acquire: %v", err)
+		}
+		got <- id
+	}()
+	for p.Waiters() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(5 * time.Millisecond) // let the waiter reach its park
+	p.Pause()
+	p.Release(tid)
+	// Quiescent now: the id must be home and stay home while paused, the
+	// parked waiter notwithstanding (its backoff re-poll is gated).
+	deadline := time.Now().Add(2 * time.Second)
+	for p.Held() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("Held = %d after a paused release, want 0", p.Held())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if free := p.Free(); free != 1 {
+		t.Fatalf("Free = %d with the pool paused and quiescent, want 1", free)
+	}
+	select {
+	case id := <-got:
+		t.Fatalf("waiter acquired id %d through the pause gate", id)
+	case <-time.After(120 * time.Millisecond): // beyond parkBackoffMax
+	}
+	p.Resume()
+	select {
+	case <-got:
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter never acquired after Resume")
+	}
+}
+
+// TestPauseQuiescenceExact hammers the pool with acquire/release churn
+// while a pauser repeatedly gates it and waits for Held()==0. At that
+// point the pool is provably quiescent, so the freelist walk must account
+// for every id — the exactness Switch's drain depends on. Run with -race:
+// the pre-held-counter version of this protocol could report quiescence
+// while a racing pop still had an id out.
+func TestPauseQuiescenceExact(t *testing.T) {
+	const ids, workers, pauses = 3, 8, 60
+	p := New(ids)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for !stop.Load() {
+				if w%2 == 0 {
+					tid, ok := p.TryAcquire()
+					if !ok {
+						continue
+					}
+					p.Release(tid)
+				} else {
+					ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+					tid, err := p.Acquire(ctx, nil)
+					cancel()
+					if err != nil {
+						continue
+					}
+					p.Release(tid)
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < pauses; i++ {
+		p.Pause()
+		deadline := time.Now().Add(5 * time.Second)
+		for p.Held() != 0 {
+			if time.Now().After(deadline) {
+				p.Resume()
+				stop.Store(true)
+				wg.Wait()
+				t.Fatalf("pause %d: Held = %d never drained", i, p.Held())
+			}
+			runtime.Gosched()
+		}
+		// Held()==0 guarantees no acquirer can keep an id, but one may be
+		// in the instant between a successful pop and its gate re-check —
+		// it is pushed straight back, so with the gate still up the
+		// freelist must converge to full. An id that never comes home
+		// means the gate leaked a real acquisition mid-pause.
+		for p.Free() != ids {
+			if time.Now().After(deadline) {
+				free := p.Free()
+				p.Resume()
+				stop.Store(true)
+				wg.Wait()
+				t.Fatalf("pause %d: quiescent but Free stuck at %d, want %d — an id slipped the gate", i, free, ids)
+			}
+			runtime.Gosched()
+		}
+		p.Resume()
+		time.Sleep(time.Millisecond)
+	}
+	stop.Store(true)
+	wg.Wait()
+	if p.Held() != 0 || p.Free() != ids {
+		t.Fatalf("after storm: Held = %d Free = %d, want 0,%d", p.Held(), p.Free(), ids)
 	}
 }
 

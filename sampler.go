@@ -23,8 +23,11 @@ type SamplerConfig struct {
 	// AutoSwitch arms the sampler's hysteresis trigger: once the live
 	// recommendation has named the same non-current scheme for
 	// AutoSwitchAfter consecutive ticks, the sampler calls the Domain's
-	// Switch (on the sampler goroutine). Set by Options.AutoSwitch; it has
-	// no effect on a Sampler the Domain did not wire a switch hook into.
+	// SwitchWithin (on the sampler goroutine) with a bounded drain wait,
+	// so guards held across ticks abort the switch (retried on the next
+	// streak) rather than gating the Domain indefinitely. Set by
+	// Options.AutoSwitch; it has no effect on a Sampler the Domain did
+	// not wire a switch hook into.
 	AutoSwitch bool
 	// AutoSwitchAfter is the hysteresis depth (default 3 when AutoSwitch
 	// is set). A streak resets whenever the recommendation returns to the
@@ -52,6 +55,13 @@ type SamplerRates struct {
 
 // ewmaAlpha is the smoothing factor of every sampler rate.
 const ewmaAlpha = 0.2
+
+// autoSwitchDrainBound caps how long a sampler-triggered switch waits for
+// held guards to drain before aborting with ErrSwitchBusy. Guardless and
+// pinned operations release in microseconds, so any drain this long means
+// the program holds explicit guards across ticks — a pattern AutoSwitch
+// must tolerate, not deadlock on.
+const autoSwitchDrainBound = 50 * time.Millisecond
 
 // A Sampler is the streaming half of the observability runtime: a
 // background goroutine collecting Domain.Sample rows at a fixed tick into
@@ -234,9 +244,12 @@ func (s *Sampler) maybeSwitch(rec advisor.Recommendation) {
 	}
 	if s.streak >= s.autoAfter {
 		s.candidate, s.streak = "", 0
-		// An error here means the advisor named a scheme the registry
-		// does not know — nothing the sampler can do beyond not crashing;
-		// the streak reset stops it retrying every tick.
+		// An error here is either an unknown scheme name (nothing the
+		// sampler can do beyond not crashing) or ErrSwitchBusy — guards
+		// held across ticks kept the bounded drain from completing. The
+		// streak reset stops it retrying every tick either way; if the
+		// recommendation persists, a fresh streak accrues and the switch
+		// is retried once the guards come home.
 		_ = s.switchTo(want)
 	}
 }

@@ -9,6 +9,7 @@ package wfe_test
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -211,6 +212,80 @@ func TestSwitchBlocksGuardAcquisition(t *testing.T) {
 		}
 	}
 	<-done
+}
+
+// TestSwitchWithinAbortsOnHeldGuard pins the bounded-drain contract
+// AutoSwitch relies on: a guard held across the drain wait makes
+// SwitchWithin abort with ErrSwitchBusy, the gate lifted and the Domain —
+// scheme, counters, guard acquisition — untouched, instead of wedging
+// every acquirer behind a switch that cannot complete.
+func TestSwitchWithinAbortsOnHeldGuard(t *testing.T) {
+	d, err := wfe.NewDomain[int](wfe.Options{Capacity: 1 << 12, MaxGuards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := d.Guard() // a long-lived explicit guard, the fixed-worker pattern
+	if err := d.SwitchWithin(wfe.EBR, 10*time.Millisecond); !errors.Is(err, wfe.ErrSwitchBusy) {
+		t.Fatalf("SwitchWithin with a held guard = %v, want ErrSwitchBusy", err)
+	}
+	if got := d.Scheme(); got != wfe.WFE {
+		t.Fatalf("Scheme = %v after an aborted switch, want WFE", got)
+	}
+	if n := d.Telemetry().SchemeSwitches; n != 0 {
+		t.Fatalf("aborted switch counted: SchemeSwitches = %d, want 0", n)
+	}
+	// The gate must be lifted: acquisition works immediately.
+	g2, ok := d.TryGuard()
+	if !ok {
+		t.Fatal("guards still gated after an aborted SwitchWithin")
+	}
+	g2.Release()
+	g.Release()
+	// With the guard home, the same bounded switch completes.
+	if err := d.SwitchWithin(wfe.EBR, time.Second); err != nil {
+		t.Fatalf("SwitchWithin after releasing the guard: %v", err)
+	}
+	if got := d.Scheme(); got != wfe.EBR {
+		t.Fatalf("Scheme = %v, want EBR", got)
+	}
+}
+
+// TestGuardNoSpuriousPanicUnderSwitchStorm drives Guard()/Release churn
+// from exactly MaxGuards workers — a demand the pool can always satisfy,
+// so any "all guards in use" panic is spurious — while the main goroutine
+// switches schemes as fast as it can. A Guard that mistakes the switch
+// gate for exhaustion panics and crashes the test.
+func TestGuardNoSpuriousPanicUnderSwitchStorm(t *testing.T) {
+	const workers = 4
+	d, err := wfe.NewDomain[int](wfe.Options{Capacity: 1 << 12, MaxGuards: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				g := d.Guard() // must park across switches, never panic
+				g.Release()
+			}
+		}()
+	}
+	for i := 0; i < 100; i++ {
+		target := wfe.EBR
+		if i%2 == 1 {
+			target = wfe.WFE
+		}
+		if err := d.Switch(target); err != nil {
+			stop.Store(true)
+			wg.Wait()
+			t.Fatal(err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
 }
 
 // TestTelemetryMonotoneAcrossSwitch pins the carry: cumulative scan
