@@ -45,6 +45,12 @@ type Sample struct {
 	ScanBlocks  uint64 `json:"scan_blocks"` // cumulative retired blocks examined by scans
 	P99Steps    uint64 `json:"p99_steps"`   // p99 GetProtected step count so far
 	GuardParks  uint64 `json:"guard_parks"` // cumulative parked guard acquisitions
+
+	// Backpressure columns (zero on trajectories recorded before the
+	// emergency-reclamation pipeline existed, which disables the
+	// exhaustion-pressure signature on them).
+	Pressure       float64 `json:"pressure,omitempty"`        // InUse/Capacity arena occupancy fraction
+	EmergencyScans uint64  `json:"emergency_scans,omitempty"` // cumulative out-of-cadence scans forced by alloc stalls
 }
 
 // Decision thresholds. They are exported constants rather than knobs: the
@@ -76,6 +82,15 @@ const (
 	// regularly will also be preempted mid-operation regularly, which is
 	// exactly the schedule EBR's epoch cannot tolerate.
 	ParkPressure = 0.5
+	// PressureThreshold is the arena-occupancy fraction above which a
+	// tick counts toward the exhaustion-pressure signature: the workload
+	// is living at the edge of the arena and every retired block the
+	// scheme withholds is a future allocation stall.
+	PressureThreshold = 0.9
+	// PressureStreakTicks is how many consecutive above-threshold ticks
+	// (with emergency scans actually firing) read as sustained exhaustion
+	// pressure rather than a transient spike the pipeline absorbed.
+	PressureStreakTicks = 4
 )
 
 // A Profile is the feature vector Analyze computes from a trajectory —
@@ -93,6 +108,9 @@ type Profile struct {
 	P99Steps       uint64  `json:"p99_steps"`       // final p99 protect-loop step count
 	ScansRan       uint64  `json:"scans_ran"`       // cleanup scans over the trajectory
 	RetireActivity bool    `json:"retire_activity"` // any retire-side work at all
+	PressureStreak int     `json:"pressure_streak"` // longest run of ticks above PressureThreshold occupancy
+	PressurePeak   float64 `json:"pressure_peak"`   // max arena occupancy fraction over the trajectory
+	EmergencyScans uint64  `json:"emergency_scans"` // out-of-cadence scans forced over the trajectory
 }
 
 // A Recommendation names the scheme (by its wfe legend name) the observed
@@ -119,6 +137,24 @@ func Analyze(samples []Sample) Profile {
 		p.ParksPerTick = float64(last.GuardParks-first.GuardParks) / float64(n-1)
 	}
 	p.RetireActivity = last.ScanBlocks > first.ScanBlocks || p.Final > 0
+	p.EmergencyScans = last.EmergencyScans - first.EmergencyScans
+
+	// Longest run of consecutive ticks at or above the exhaustion
+	// threshold: the workload living against the arena ceiling.
+	streak := 0
+	for _, s := range samples {
+		if s.Pressure > p.PressurePeak {
+			p.PressurePeak = s.Pressure
+		}
+		if s.Pressure >= PressureThreshold {
+			streak++
+			if streak > p.PressureStreak {
+				p.PressureStreak = streak
+			}
+		} else {
+			streak = 0
+		}
+	}
 
 	backlogs := make([]int, len(samples))
 	for i, s := range samples {
@@ -178,6 +214,12 @@ func Advise(samples []Sample) Recommendation {
 	p := Analyze(samples)
 	rec := Recommendation{Profile: p}
 	switch {
+	case p.PressureStreak >= PressureStreakTicks && p.EmergencyScans > 0:
+		rec.Scheme = "HP"
+		rec.Reasons = append(rec.Reasons,
+			fmt.Sprintf("exhaustion pressure: arena occupancy held above %.0f%% for %d consecutive ticks (peak %.0f%%) while %d emergency scans fired — the workload lives against the arena ceiling and every withheld retired block is a future allocation stall",
+				PressureThreshold*100, p.PressureStreak, p.PressurePeak*100, p.EmergencyScans),
+			"HP keeps the tightest retire backlog of any scheme (per-block identity scans, no era granularity), returning retired blocks soonest when every block counts")
 	case !p.RetireActivity:
 		rec.Scheme = "EBR"
 		rec.Reasons = append(rec.Reasons,

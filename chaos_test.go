@@ -57,6 +57,23 @@ func TestChaosRobustnessMatrix(t *testing.T) {
 							rec.Scheme, c.WantAdvice, rec.Profile)
 					}
 				}
+				if c.WantPressure {
+					if kind == wfe.Leak {
+						// The pipeline cannot help the judge-less baseline:
+						// exhaustion must surface as errors, not panics.
+						if tr.Summary.AllocFailures == 0 {
+							t.Errorf("%s: expected surfaced alloc failures on the undersized arena, saw none", kind)
+						}
+					} else {
+						if tr.Summary.EmergencyScans == 0 {
+							t.Errorf("%s: scenario never entered the emergency pipeline — arena not undersized enough", kind)
+						}
+						if tr.Summary.AllocFailures != 0 {
+							t.Errorf("%s: %d allocation(s) surfaced ErrArenaExhausted despite emergency reclamation",
+								kind, tr.Summary.AllocFailures)
+						}
+					}
+				}
 			}
 		})
 	}

@@ -104,6 +104,7 @@ func main() {
 		workloads = flag.Bool("workloads", false, "storm the promoted public structures (WFQueue, TurnQueue, HashMap, Tree) through the guardless API")
 		chaosRun  = flag.Bool("chaos", false, "run the canned chaos-schedule matrix (stalled readers, preempted writers, bursty churn, oversubscription) and assert the per-scheme robustness bounds")
 		chaosDir  = flag.String("chaosdir", "", "with -chaos: directory to write per-(scenario,scheme) trajectory JSONs into")
+		chaosName = flag.String("scenario", "", "with -chaos: run only the named scenario (default: the whole catalog)")
 		switchRun = flag.Bool("switch", false, "live-switching storm: cycle Domain.Switch through every scheme under guardless churn")
 		switchOut = flag.String("switchout", "", "with -switch: write the storm's hop log and sampler trajectory as wfe-switch/v1 JSON to this file")
 		maddr     = flag.String("metrics", "", "serve OpenMetrics/pprof on this address while stressing (e.g. 127.0.0.1:9100)")
@@ -140,7 +141,7 @@ func main() {
 		return
 	}
 	if *chaosRun {
-		if err := chaosMatrix(*scheme, *chaosDir); err != nil {
+		if err := chaosMatrix(*scheme, *chaosName, *chaosDir); err != nil {
 			fmt.Fprintf(os.Stderr, "FAIL chaos: %v\n", err)
 			os.Exit(1)
 		}
@@ -191,8 +192,9 @@ func main() {
 // (Leak; EBR under a stalled reader) visibly past the floor, a clean
 // post-run quiesce everywhere, and the advisor's expected recommendation
 // on each scenario's EBR trajectory. With dir set, each trajectory is
-// written to <dir>/<scenario>-<scheme>.json for artifact upload.
-func chaosMatrix(scheme, dir string) error {
+// written to <dir>/<scenario>-<scheme>.json for artifact upload. A
+// non-empty scenario restricts the matrix to that one catalog entry.
+func chaosMatrix(scheme, scenario, dir string) error {
 	kinds := wfe.AllSchemes()
 	if scheme != "all" {
 		name := scheme
@@ -210,8 +212,21 @@ func chaosMatrix(scheme, dir string) error {
 			return err
 		}
 	}
+	catalog := chaos.Catalog()
+	if scenario != "" {
+		kept := catalog[:0]
+		for _, c := range catalog {
+			if c.Name == scenario {
+				kept = append(kept, c)
+			}
+		}
+		if len(kept) == 0 {
+			return fmt.Errorf("unknown chaos scenario %q", scenario)
+		}
+		catalog = kept
+	}
 	failed := false
-	for _, c := range chaos.Catalog() {
+	for _, c := range catalog {
 		for _, kind := range kinds {
 			tr, err := chaos.Run(kind, c.Scenario)
 			if err != nil {

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"wfe/internal/failpoint"
 	"wfe/internal/guardpool"
 	"wfe/internal/mem"
 	"wfe/internal/pack"
@@ -17,6 +18,12 @@ import (
 	"wfe/internal/schemes"
 	"wfe/internal/trace"
 )
+
+// fpSwitchDrain fires at each iteration of the live scheme switch's
+// drain wait: an injected sleep holds the switch inside the gated window
+// (the chaos harness's alloc-fail-during-switch schedule), an injected
+// error aborts the switch with ErrSwitchBusy.
+var fpSwitchDrain = failpoint.New("switch-drain")
 
 // SchemeKind selects a safe-memory-reclamation scheme for a Domain. The
 // zero value is WFE, the paper's contribution; the others are the baselines
@@ -97,9 +104,12 @@ type Options struct {
 	// Scheme selects the reclamation scheme (default WFE).
 	Scheme SchemeKind
 	// Capacity is the number of blocks in the arena (default 2^20, maximum
-	// 2^24-2). The arena is fixed-size: allocation panics when it is
-	// exhausted, so size it for the workload — generously for Leak, which
-	// never recycles.
+	// 2^24-2). The arena is fixed-size, but exhaustion is no longer
+	// instantly fatal: an allocation that finds it full triggers emergency
+	// reclamation scans and retries under backoff (see AllocRetries), and
+	// only a pipeline that stays dry panics — or, through the structures'
+	// Try* variants, returns ErrArenaExhausted. Still size it for the
+	// workload, generously for Leak, which never recycles.
 	Capacity int
 	// MaxGuards bounds the number of concurrently held Guards (default
 	// runtime.GOMAXPROCS(0)).
@@ -174,6 +184,20 @@ type Options struct {
 	// advisor — alternating recommendations tick over tick — never
 	// accumulates a streak, so it can never thrash the Domain.
 	AutoSwitchAfter int
+	// AllocRetries is how many backoff-then-rescan rounds an allocation
+	// that found the arena exhausted runs before giving up (default 16).
+	// Every round ticks the scheme's era clock, scans the allocating
+	// guard's own retire ring out of the CleanupFreq cadence, and retries;
+	// only after the last round does the allocation surface
+	// ErrArenaExhausted (Try* variants) or panic (plain variants). The
+	// retry budget bounds the worst-case stall, so a Domain under pressure
+	// degrades to bounded latency, never to an unbounded wait.
+	AllocRetries int
+	// AllocBackoff is the initial sleep between emergency-reclamation
+	// rounds (default 50µs). It doubles per round, capped at 100× the
+	// initial value, giving concurrent guards time to retire and scan
+	// their own backlogs before the stalled allocation rescans.
+	AllocBackoff time.Duration
 }
 
 // A Domain[T] owns an arena of T-valued blocks and the reclamation scheme
@@ -239,6 +263,17 @@ type Domain[T any] struct {
 	switchMu       sync.Mutex
 	eraFloor       uint64
 	schemeSwitches atomic.Uint64
+
+	// Allocation-backpressure state: the resolved retry knobs and the
+	// pressure gauges Pressure() reports. allocStalls counts allocations
+	// that found the arena exhausted, emergencyScans the out-of-cadence
+	// scans they triggered, lastResolve the nanoseconds the most recent
+	// resolved stall spent inside the pipeline.
+	allocRetries   int
+	allocBackoff   time.Duration
+	allocStalls    atomic.Uint64
+	emergencyScans atomic.Uint64
+	lastResolve    atomic.Int64
 }
 
 // schemeBox pairs a scheme with its kind so both swap atomically.
@@ -264,8 +299,24 @@ func (l liveScheme[T]) Clear(tid int)                { l.d.scheme().s.Clear(tid)
 func (l liveScheme[T]) Unreclaimed() int             { return l.d.scheme().s.Unreclaimed() }
 func (l liveScheme[T]) Arena() *mem.Arena            { return l.d.arena }
 func (l liveScheme[T]) Retirer() *reclaim.Retirer    { return l.d.scheme().s.Retirer() }
-func (l liveScheme[T]) Alloc(tid int) mem.Handle     { return l.d.scheme().s.Alloc(tid) }
 func (l liveScheme[T]) Retire(tid int, h mem.Handle) { l.d.scheme().s.Retire(tid, h) }
+
+// Alloc routes the internal structures' node allocations through the
+// Domain's backpressure pipeline, so a WFQueue or TurnQueue segment
+// allocation under pressure gets the same emergency scans and retries a
+// Guard.Alloc does before the exhaustion panic fires.
+func (l liveScheme[T]) Alloc(tid int) mem.Handle {
+	h, err := l.d.allocHandle(tid)
+	if err != nil {
+		panic(exhaustedPanic(l.d.arena.Capacity()))
+	}
+	return h
+}
+
+func (l liveScheme[T]) TryAlloc(tid int) (mem.Handle, bool) {
+	h, err := l.d.allocHandle(tid)
+	return h, err == nil
+}
 func (l liveScheme[T]) GetProtected(tid int, src *atomic.Uint64, index int, parent mem.Handle) uint64 {
 	return l.d.scheme().s.GetProtected(tid, src, index, parent)
 }
@@ -312,6 +363,7 @@ func NewDomain[T any](opts Options) (*Domain[T], error) {
 		{"SortCutoff", opts.SortCutoff},
 		{"TraceDepth", opts.TraceDepth},
 		{"AutoSwitchAfter", opts.AutoSwitchAfter},
+		{"AllocRetries", opts.AllocRetries},
 	} {
 		if tune.v < 0 {
 			return nil, fmt.Errorf("wfe: %s %d must be non-negative (0 selects the default)", tune.name, tune.v)
@@ -319,6 +371,15 @@ func NewDomain[T any](opts Options) (*Domain[T], error) {
 	}
 	if opts.SampleEvery < 0 {
 		return nil, fmt.Errorf("wfe: SampleEvery %v must be non-negative (0 disables the auto-started sampler)", opts.SampleEvery)
+	}
+	if opts.AllocBackoff < 0 {
+		return nil, fmt.Errorf("wfe: AllocBackoff %v must be non-negative (0 selects the default)", opts.AllocBackoff)
+	}
+	if opts.AllocRetries == 0 {
+		opts.AllocRetries = 16
+	}
+	if opts.AllocBackoff == 0 {
+		opts.AllocBackoff = 50 * time.Microsecond
 	}
 	if opts.AutoSwitch && opts.SampleEvery == 0 {
 		return nil, fmt.Errorf("wfe: AutoSwitch requires SampleEvery (the background sampler is its trigger source)")
@@ -353,12 +414,14 @@ func NewDomain[T any](opts Options) (*Domain[T], error) {
 		return nil, fmt.Errorf("wfe: %v", err)
 	}
 	d := &Domain[T]{
-		arena:  arena,
-		cfg:    cfg,
-		vals:   make([]T, opts.Capacity),
-		guards: guardpool.New(opts.MaxGuards),
-		cache:  make([]cacheSlot[T], opts.MaxGuards),
-		tracer: tracer,
+		arena:        arena,
+		cfg:          cfg,
+		vals:         make([]T, opts.Capacity),
+		guards:       guardpool.New(opts.MaxGuards),
+		cache:        make([]cacheSlot[T], opts.MaxGuards),
+		tracer:       tracer,
+		allocRetries: opts.AllocRetries,
+		allocBackoff: opts.AllocBackoff,
 	}
 	d.smr.Store(&schemeBox{s: smr, kind: opts.Scheme})
 	d.guards.SetTracer(tracer)
@@ -602,6 +665,161 @@ func (d *Domain[T]) FlushGuardCache() int {
 // the paper's reclamation-speed metric. Approximate under concurrency.
 func (d *Domain[T]) Unreclaimed() int { return d.scheme().s.Unreclaimed() }
 
+// ErrArenaExhausted is returned by the structures' Try* methods (and
+// Guard.TryAlloc) when an allocation found the arena full and the
+// emergency-reclamation pipeline — out-of-cadence scans of the
+// allocating guard's retire ring, retried under capped exponential
+// backoff (Options.AllocRetries / AllocBackoff) — could not free a
+// block. The non-Try methods panic with an error wrapping it instead.
+// It is a backpressure verdict, not a corruption: the Domain stays fully
+// usable, and the same allocation may succeed once concurrent guards
+// retire and scan their own backlogs.
+var ErrArenaExhausted = errors.New("wfe: arena exhausted after emergency reclamation")
+
+// exhaustedPanic is the panic payload of the non-Try allocation paths
+// once the retry pipeline is spent. It wraps ErrArenaExhausted so
+// recover-side classifiers can errors.Is it.
+func exhaustedPanic(capacity int) error {
+	return fmt.Errorf("%w (capacity %d); size the arena for the workload or switch to the Try* variants", ErrArenaExhausted, capacity)
+}
+
+// allocHandle is the Domain's allocation front door: the scheme's
+// TryAlloc on the fast path, the emergency-reclamation pipeline on a
+// miss. Callers must own tid (hold its guard).
+func (d *Domain[T]) allocHandle(tid int) (mem.Handle, error) {
+	if h, ok := d.scheme().s.TryAlloc(tid); ok {
+		return h, nil
+	}
+	return d.allocSlow(tid)
+}
+
+// allocSlow resolves an exhausted-arena allocation by forcing the
+// reclamation the cadence has not run yet: each round ticks the scheme's
+// era clock (so a fresh scan judges against a clock ahead of every
+// stamped retirement), scans tid's own retire ring out of the
+// CleanupFreq cadence, and retries the allocation, sleeping a doubling
+// backoff between rounds. Only tid's ring is scanned directly — retire
+// rings are single-writer, and reaching into another guard's ring would
+// race its owner — so rescue from the other rings is arranged
+// indirectly: registering as an arena waiter makes every concurrent
+// retire run its own out-of-cadence scan and makes frees spill eagerly
+// past the private caches to the global list, where this tid's retry
+// can claim them. A guard whose own ring is empty (it just started, or
+// has only read) is therefore still rescued, as long as some guard
+// somewhere is retiring.
+func (d *Domain[T]) allocSlow(tid int) (mem.Handle, error) {
+	d.allocStalls.Add(1)
+	st := d.arena.Stats()
+	d.tracer.Emit(tid, trace.KindAllocStall, st.InUse, uint64(d.arena.Capacity()))
+	box := d.scheme()
+	rt := box.s.Retirer()
+	if !rt.Judged() {
+		// The leak baseline has no judge: a scan can never free anything,
+		// so retrying would only delay the inevitable verdict.
+		return 0, ErrArenaExhausted
+	}
+	d.arena.AddWaiter(1)
+	defer d.arena.AddWaiter(-1)
+	start := time.Now()
+	backoff := d.allocBackoff
+	ceil := 100 * d.allocBackoff
+	for round := 0; ; round++ {
+		if c, ok := box.s.(reclaim.ClockAdvancer); ok {
+			c.AdvanceClock(tid)
+		}
+		rt.Scan(tid)
+		d.emergencyScans.Add(1)
+		if h, ok := box.s.TryAlloc(tid); ok {
+			d.lastResolve.Store(int64(time.Since(start)))
+			return h, nil
+		}
+		if round >= d.allocRetries {
+			return 0, ErrArenaExhausted
+		}
+		time.Sleep(backoff)
+		if backoff < ceil {
+			backoff *= 2
+			if backoff > ceil {
+				backoff = ceil
+			}
+		}
+	}
+}
+
+// Pressure is the Domain's allocation-backpressure gauge: how full the
+// arena is and what the emergency-reclamation pipeline has had to do
+// about it. Live/Capacity is the instantaneous occupancy (Ratio derives
+// the fraction); AllocStalls counts allocations that found the arena
+// exhausted, EmergencyScans the out-of-cadence scans they forced, and
+// LastResolve how long the most recent resolved stall spent inside the
+// pipeline. A Domain that never sees pressure reports zeros everywhere
+// but Live/Capacity.
+type Pressure struct {
+	Live           int           // blocks currently allocated (live or retired)
+	Capacity       int           // arena size in blocks
+	AllocStalls    uint64        // allocations that entered the emergency pipeline
+	EmergencyScans uint64        // out-of-cadence scans the pipeline ran
+	LastResolve    time.Duration // pipeline latency of the last resolved stall
+}
+
+// Ratio returns Live/Capacity, the occupancy fraction the advisor's
+// exhaustion-pressure signature watches (0 when Capacity is 0).
+func (p Pressure) Ratio() float64 {
+	if p.Capacity == 0 {
+		return 0
+	}
+	return float64(p.Live) / float64(p.Capacity)
+}
+
+// Pressure samples the allocation-backpressure gauge. Approximate under
+// concurrency, like Telemetry.
+func (d *Domain[T]) Pressure() Pressure {
+	st := d.arena.Stats()
+	return Pressure{
+		Live:           int(st.InUse),
+		Capacity:       d.arena.Capacity(),
+		AllocStalls:    d.allocStalls.Load(),
+		EmergencyScans: d.emergencyScans.Load(),
+		LastResolve:    time.Duration(d.lastResolve.Load()),
+	}
+}
+
+// Scavenge runs one judged cleanup scan over every tid's retire ring,
+// out of cadence, after ticking the scheme's era clock past any retired
+// block's lifespan — the strongest reclamation pass available without
+// violating the schemes' safety rules. It returns the number of blocks
+// recycled.
+//
+// Call it only on a quiescent Domain (no operations in flight, no
+// protections outstanding): retire rings are single-writer structures,
+// and Scavenge walks all of them from the calling goroutine. It is how a
+// drained Domain releases the backlog a lazy CleanupFreq would otherwise
+// hold until each tid retires again; the allocation pipeline's emergency
+// scans are the concurrent-safe sibling, limited to the stalled tid's own
+// ring. The Leak baseline has no judge to scan with, so Scavenge reports
+// zero there.
+func (d *Domain[T]) Scavenge() int {
+	box := d.scheme()
+	rt := box.s.Retirer()
+	if !rt.Judged() {
+		return 0
+	}
+	if c, ok := box.s.(reclaim.ClockAdvancer); ok {
+		// EBR-class grace periods span two clock ticks; three advances
+		// put every quiescently-retired block beyond any of them. The
+		// reservation-interval schemes need no help — with no guards
+		// active nothing is pinned.
+		for i := 0; i < 3; i++ {
+			c.AdvanceClock(0)
+		}
+	}
+	before := d.arena.Stats().Frees
+	for tid := 0; tid < d.guards.Cap(); tid++ {
+		rt.Scan(tid)
+	}
+	return int(d.arena.Stats().Frees - before)
+}
+
 // Telemetry is a point-in-time census of a Domain's reclamation machinery
 // and its guard runtime.
 type Telemetry struct {
@@ -647,6 +865,12 @@ type Telemetry struct {
 	// SchemeSwitches counts live scheme swaps completed by Domain.Switch
 	// over the Domain's lifetime.
 	SchemeSwitches uint64
+
+	// Allocation-backpressure counters (see Domain.Pressure): allocations
+	// that found the arena exhausted, and the out-of-cadence emergency
+	// scans they forced. Zero on a Domain that never ran out of blocks.
+	AllocStalls    uint64
+	EmergencyScans uint64
 }
 
 // Telemetry samples the Domain's counters. The snapshot is approximate
@@ -684,6 +908,9 @@ func (d *Domain[T]) Telemetry() Telemetry {
 		GuardCacheMisses: d.cacheMisses.Load(),
 
 		SchemeSwitches: d.schemeSwitches.Load(),
+
+		AllocStalls:    d.allocStalls.Load(),
+		EmergencyScans: d.emergencyScans.Load(),
 	}
 	if e, ok := box.s.(interface{ Era() uint64 }); ok {
 		t.Era = e.Era()
@@ -713,6 +940,11 @@ type TelemetrySample struct {
 	Frees       uint64 `json:"frees"`       // cumulative blocks recycled
 	InUse       uint64 `json:"in_use"`      // Allocs - Frees
 	GuardParks  uint64 `json:"guard_parks"` // cumulative parked guard acquisitions
+
+	// Backpressure columns (omitted from JSON when zero, so trajectories
+	// recorded before the emergency pipeline existed stay byte-identical).
+	Capacity       int    `json:"capacity,omitempty"`        // arena size in blocks
+	EmergencyScans uint64 `json:"emergency_scans,omitempty"` // cumulative out-of-cadence scans
 }
 
 // Sample collects one TelemetrySample in a single pass over the retire
@@ -732,6 +964,9 @@ func (d *Domain[T]) Sample() TelemetrySample {
 		Frees:       st.Frees,
 		InUse:       st.InUse,
 		GuardParks:  d.guards.Stats().Parks,
+
+		Capacity:       d.arena.Capacity(),
+		EmergencyScans: d.emergencyScans.Load(),
 	}
 }
 
@@ -976,6 +1211,9 @@ func (d *Domain[T]) switchWithin(kind SchemeKind, drainWait time.Duration) error
 	d.guards.Pause()
 	defer d.guards.Resume()
 	for spins := 0; ; spins++ {
+		if err := fpSwitchDrain.Eval(0); err != nil {
+			return ErrSwitchBusy
+		}
 		d.FlushGuardCache()
 		if d.guards.Held() == 0 {
 			break
@@ -1145,13 +1383,54 @@ func (g *Guard[T]) End() { g.d.scheme().s.Clear(g.tid) }
 // arena recycles blocks without clearing them). Stamp metadata with
 // StoreMeta and links with Store before publishing the block by CAS-ing
 // its Ref into the structure.
+//
+// When the arena is exhausted Alloc runs the Domain's emergency
+// reclamation pipeline (out-of-cadence scans with backoff, see
+// Options.AllocRetries) and panics with an error wrapping
+// ErrArenaExhausted only once that pipeline is spent. Callers that want
+// the error instead use TryAlloc.
 func (g *Guard[T]) Alloc(v T) Ref[T] {
-	h := g.d.scheme().s.Alloc(g.tid)
+	r, err := g.TryAlloc(v)
+	if err != nil {
+		panic(exhaustedPanic(g.d.arena.Capacity()))
+	}
+	return r
+}
+
+// TryAlloc is Alloc with backpressure: when the arena stays exhausted
+// after the Domain's emergency-reclamation pipeline it returns
+// ErrArenaExhausted instead of panicking. The structures' Try* methods
+// are built on it.
+func (g *Guard[T]) TryAlloc(v T) (Ref[T], error) {
+	h, err := g.d.allocHandle(g.tid)
+	if err != nil {
+		return Ref[T]{}, err
+	}
 	for i := 0; i < NumWords; i++ {
 		g.d.arena.StoreWord(h, i, 0)
 	}
 	g.d.vals[h-1] = v
-	return Ref[T]{h}
+	return Ref[T]{h}, nil
+}
+
+// tryAllocFast is a single allocation attempt that fails fast instead of
+// entering the emergency pipeline. Structures whose allocation sites sit
+// inside a protected section use it so they can drop their protection
+// (End) before blocking: a stalled allocator still holding traversal
+// reservations pins every contemporaneous block against every scan, and
+// a herd of such stalls would deadlock the very reclamation each is
+// waiting for. On false, the caller Ends, runs TryAlloc unprotected,
+// Begins again and restarts its traversal.
+func (g *Guard[T]) tryAllocFast(v T) (Ref[T], bool) {
+	h, ok := g.d.scheme().s.TryAlloc(g.tid)
+	if !ok {
+		return Ref[T]{}, false
+	}
+	for i := 0; i < NumWords; i++ {
+		g.d.arena.StoreWord(h, i, 0)
+	}
+	g.d.vals[h-1] = v
+	return Ref[T]{h}, true
 }
 
 // Dealloc returns a never-published block to the arena immediately — the

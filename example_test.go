@@ -2,6 +2,7 @@ package wfe_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -256,6 +257,34 @@ func ExampleHashMap() {
 	// Output:
 	// one
 	// deleted: true
+}
+
+// ExampleHashMap_TryPut: the Try* variants convert arena exhaustion into
+// an error instead of a panic. The arena here is sized far below the key
+// range, so once every block backs a live node the emergency-reclamation
+// pipeline has nothing to free and TryPut surfaces ErrArenaExhausted —
+// the caller's backpressure signal to shed load or free something.
+func ExampleHashMap_TryPut() {
+	d, _ := wfe.NewDomain[uint64](wfe.Options{
+		Scheme:       wfe.WFE,
+		Capacity:     64,
+		AllocRetries: 2, // trim the stall pipeline: this exhaustion is permanent
+		AllocBackoff: time.Microsecond,
+	})
+	m := wfe.NewHashMap[uint64](d, 16)
+
+	var filled uint64
+	for k := uint64(0); ; k++ {
+		if err := m.TryPut(k, k); err != nil {
+			fmt.Println("exhausted:", errors.Is(err, wfe.ErrArenaExhausted))
+			break
+		}
+		filled++
+	}
+	fmt.Println("filled to capacity:", filled > 0 && filled <= 64)
+	// Output:
+	// exhausted: true
+	// filled to capacity: true
 }
 
 // ExampleTree: the Natarajan–Mittal external binary search tree. Keys are

@@ -154,8 +154,28 @@ func (m *HashMap[T]) Len() int {
 	return m.LenGuarded(g)
 }
 
+// TryInsert is Insert with backpressure: when the key is absent and the
+// arena stays exhausted after the Domain's emergency-reclamation
+// pipeline, it returns ErrArenaExhausted instead of panicking. ok
+// reports the insert outcome (false with a nil error means the key was
+// already present).
+func (m *HashMap[T]) TryInsert(key uint64, val T) (ok bool, err error) {
+	g := m.d.Pin()
+	defer m.d.unpin(g)
+	return m.TryInsertGuarded(g, key, val)
+}
+
 // InsertGuarded is Insert on a caller-held guard.
 func (m *HashMap[T]) InsertGuarded(g *Guard[T], key uint64, val T) bool {
+	ok, err := m.TryInsertGuarded(g, key, val)
+	if err != nil {
+		panic(exhaustedPanic(m.d.arena.Capacity()))
+	}
+	return ok
+}
+
+// TryInsertGuarded is TryInsert on a caller-held guard.
+func (m *HashMap[T]) TryInsertGuarded(g *Guard[T], key uint64, val T) (ok bool, err error) {
 	g.Begin()
 	defer g.End()
 	head := m.bucket(key)
@@ -166,15 +186,31 @@ func (m *HashMap[T]) InsertGuarded(g *Guard[T], key uint64, val T) bool {
 			if !n.IsNil() {
 				g.Dealloc(n) // never published: no reader can hold it
 			}
-			return false
+			return false, nil
 		}
 		if n.IsNil() {
-			n = g.Alloc(val)
+			// Allocate only once the key is known absent, so a lookup-heavy
+			// workload never pays allocation (or pressure) for misses that
+			// turn out to be hits. The lazy site sits inside the protected
+			// section, so an exhausted arena is handled by dropping the
+			// protection, running the emergency pipeline unprotected, and
+			// restarting the traversal with the node in hand.
+			var ok bool
+			if n, ok = g.tryAllocFast(val); !ok {
+				g.End()
+				n, err = g.TryAlloc(val)
+				g.Begin()
+				if err != nil {
+					return false, err
+				}
+				g.StoreMeta(n, mapKey, key)
+				continue // the window went stale while unprotected
+			}
 			g.StoreMeta(n, mapKey, key)
 		}
 		g.Store(n, mapNext, w.cur)
 		if m.casPrev(g, head, w.prev, w.cur, n) {
-			return true
+			return true, nil
 		}
 	}
 }
@@ -210,18 +246,39 @@ func (m *HashMap[T]) GetGuarded(g *Guard[T], key uint64) (v T, ok bool) {
 	return g.Value(w.cur), true
 }
 
+// TryPut is Put with backpressure: when the arena stays exhausted after
+// the Domain's emergency-reclamation pipeline it returns
+// ErrArenaExhausted (leaving the map unchanged) instead of panicking.
+func (m *HashMap[T]) TryPut(key uint64, val T) error {
+	g := m.d.Pin()
+	defer m.d.unpin(g)
+	return m.TryPutGuarded(g, key, val)
+}
+
 // PutGuarded is Put on a caller-held guard.
 func (m *HashMap[T]) PutGuarded(g *Guard[T], key uint64, val T) {
+	if err := m.TryPutGuarded(g, key, val); err != nil {
+		panic(exhaustedPanic(m.d.arena.Capacity()))
+	}
+}
+
+// TryPutGuarded is TryPut on a caller-held guard.
+func (m *HashMap[T]) TryPutGuarded(g *Guard[T], key uint64, val T) error {
+	// Put always consumes a node (insert and replace both link a fresh
+	// one), so allocate before entering the protected section: an
+	// exhausted-arena stall then runs the emergency pipeline with no
+	// reservations held and no epoch announced, leaving every block
+	// reclaimable by the concurrent scans the pipeline waits on.
+	n, err := g.TryAlloc(val)
+	if err != nil {
+		return err
+	}
+	g.StoreMeta(n, mapKey, key)
 	g.Begin()
 	defer g.End()
 	head := m.bucket(key)
-	var n Ref[T]
 	for {
 		found, w := m.find(g, head, key)
-		if n.IsNil() {
-			n = g.Alloc(val)
-			g.StoreMeta(n, mapKey, key)
-		}
 		if found {
 			// Logically delete the old node, then swing prev to the
 			// replacement in its place.
@@ -231,7 +288,7 @@ func (m *HashMap[T]) PutGuarded(g *Guard[T], key uint64, val T) {
 			g.Store(n, mapNext, w.next)
 			if m.casPrev(g, head, w.prev, w.cur, n) {
 				g.Retire(w.cur)
-				return
+				return nil
 			}
 			// A traversal unlinked (and retired) the marked node first;
 			// retry — the next find will take the insert path.
@@ -239,7 +296,7 @@ func (m *HashMap[T]) PutGuarded(g *Guard[T], key uint64, val T) {
 		}
 		g.Store(n, mapNext, w.cur)
 		if m.casPrev(g, head, w.prev, w.cur, n) {
-			return
+			return nil
 		}
 	}
 }

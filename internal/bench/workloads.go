@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -109,8 +110,18 @@ func IsPublicQueue(name string) bool { return name == "wfqueue" || name == "turn
 // LeakExhausted reports whether a recovered worker panic is the leak
 // baseline legitimately filling its fixed arena — the one panic the bench
 // sweep and cmd/wfestress treat as a benign early end rather than a bug.
+// The panic value is either the arena's own string (the raw mem.Arena
+// path) or an error wrapping wfe.ErrArenaExhausted (the Domain's
+// backpressure path, which skips emergency scans for Leak — there is no
+// judge to scan with).
 func LeakExhausted(r any, kind wfe.SchemeKind) bool {
-	return kind == wfe.Leak && strings.Contains(fmt.Sprint(r), "arena exhausted")
+	if kind != wfe.Leak {
+		return false
+	}
+	if err, ok := r.(error); ok && errors.Is(err, wfe.ErrArenaExhausted) {
+		return true
+	}
+	return strings.Contains(fmt.Sprint(r), "arena exhausted")
 }
 
 // MaxTurnGuards is the CRTurn claim word's tid capacity: TurnQueue domains

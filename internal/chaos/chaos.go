@@ -99,6 +99,15 @@ type Scenario struct {
 	// ignored in this mode and the trajectory is not deterministic.
 	Goroutines int `json:"goroutines,omitempty"`
 
+	// PutHeavy selects the exhaustion-storm op mix: workers churn the map
+	// through the error-returning TryPutGuarded (put-dominated, no
+	// reader stalls) and surfaced ErrArenaExhausted results are counted
+	// in Summary.AllocFailures instead of panicking the run. Pair it with
+	// an undersized Capacity and a lazy CleanupFreq so allocation outruns
+	// the scan cadence and the Domain's emergency-reclamation pipeline is
+	// the only thing keeping the workload alive.
+	PutHeavy bool `json:"put_heavy,omitempty"`
+
 	// Domain tuning. Zero values take the chaos defaults below (not the
 	// Domain defaults: chaos wants aggressive scan/era cadence so a
 	// short scenario exercises many reclamation cycles).
@@ -106,6 +115,7 @@ type Scenario struct {
 	CleanupFreq int  `json:"cleanup_freq,omitempty"`
 	EraFreq     int  `json:"era_freq,omitempty"`
 	Capacity    int  `json:"capacity,omitempty"`
+	SpillSize   int  `json:"spill_size,omitempty"`
 	Debug       bool `json:"debug,omitempty"`
 }
 
@@ -173,6 +183,15 @@ type Summary struct {
 	ScanBlocks         uint64 `json:"scan_blocks"`
 	Parks              uint64 `json:"parks"`
 	Deterministic      bool   `json:"deterministic"`
+	// Backpressure numbers (omitted from JSON when zero, so trajectories
+	// recorded before the emergency pipeline existed stay byte-identical):
+	// allocations that entered the Domain's emergency pipeline, the
+	// out-of-cadence scans it ran, and the operations that still surfaced
+	// ErrArenaExhausted after it (only the Leak baseline, which has no
+	// judge to scan with, should ever count failures).
+	AllocStalls    uint64 `json:"alloc_stalls,omitempty"`
+	EmergencyScans uint64 `json:"emergency_scans,omitempty"`
+	AllocFailures  uint64 `json:"alloc_failures,omitempty"`
 	// Quiesce is the post-run quiesce.Check verdict: "" if the drained
 	// domain settled clean (guards all home, arena census exact, backlog
 	// collapsed — not asserted for Leak), else the violation.
@@ -193,13 +212,19 @@ type Trajectory struct {
 func (t *Trajectory) Samples() []advisor.Sample {
 	out := make([]advisor.Sample, len(t.Ticks))
 	for i, ts := range t.Ticks {
+		pressure := 0.0
+		if ts.Capacity > 0 {
+			pressure = float64(ts.InUse) / float64(ts.Capacity)
+		}
 		out[i] = advisor.Sample{
-			Tick:        ts.Tick,
-			Unreclaimed: ts.Unreclaimed,
-			ScanScans:   ts.ScanScans,
-			ScanBlocks:  ts.ScanBlocks,
-			P99Steps:    ts.P99Steps,
-			GuardParks:  ts.GuardParks,
+			Tick:           ts.Tick,
+			Unreclaimed:    ts.Unreclaimed,
+			ScanScans:      ts.ScanScans,
+			ScanBlocks:     ts.ScanBlocks,
+			P99Steps:       ts.P99Steps,
+			GuardParks:     ts.GuardParks,
+			Pressure:       pressure,
+			EmergencyScans: ts.EmergencyScans,
 		}
 	}
 	return out
@@ -228,6 +253,7 @@ func Run(kind wfe.SchemeKind, s Scenario) (*Trajectory, error) {
 		MaxGuards:   s.MaxGuards,
 		CleanupFreq: s.CleanupFreq,
 		EraFreq:     s.EraFreq,
+		SpillSize:   s.SpillSize,
 		Debug:       s.Debug,
 	})
 	if err != nil {
@@ -309,8 +335,10 @@ func runSequential(d *wfe.Domain[uint64], s Scenario, traj *Trajectory) {
 				continue
 			}
 			// Hot-cell churn: replace the shared node so a stalled
-			// reader's protection pins a block other workers retire.
-			if tick%len(workers) == wi {
+			// reader's protection pins a block other workers retire. The
+			// put-heavy storm skips it — it has no reader stalls, and the
+			// unconditional Alloc would panic on its undersized arena.
+			if !s.PutHeavy && tick%len(workers) == wi {
 				old := w.g.Protect(&hot, hotSlot)
 				repl := w.g.Alloc(w.rng.next())
 				if hot.CompareAndSwap(old, repl) {
@@ -323,6 +351,23 @@ func runSequential(d *wfe.Domain[uint64], s Scenario, traj *Trajectory) {
 			}
 			for i := 0; i < s.OpsPerTick; i++ {
 				key := w.rng.next() % s.KeyRange
+				if s.PutHeavy {
+					// Put-dominated churn through the backpressure API:
+					// every put on a present key allocates a replacement
+					// and retires the old node, so allocation pressure
+					// tracks the op rate, not the live set.
+					switch w.rng.next() % 10 {
+					case 0, 1, 2, 3, 4, 5, 6:
+						if err := m.TryPutGuarded(w.g, key, w.rng.next()); err != nil {
+							traj.Summary.AllocFailures++
+						}
+					case 7:
+						m.DeleteGuarded(w.g, key)
+					default:
+						m.GetGuarded(w.g, key)
+					}
+					continue
+				}
 				switch w.rng.next() % 10 {
 				case 0, 1, 2, 3:
 					m.InsertGuarded(w.g, key, key)
@@ -491,4 +536,7 @@ func summarize(d *wfe.Domain[uint64], kind wfe.SchemeKind, traj *Trajectory) {
 		traj.Summary.ScanBlocks = last.ScanBlocks
 		traj.Summary.Parks = last.GuardParks
 	}
+	pr := d.Pressure()
+	traj.Summary.AllocStalls = pr.AllocStalls
+	traj.Summary.EmergencyScans = pr.EmergencyScans
 }

@@ -19,6 +19,13 @@ type Canned struct {
 	// expose EBR's unboundedness fails the test rather than silently
 	// proving nothing.
 	UnboundedFloor int
+	// WantPressure marks an exhaustion scenario: the matrix additionally
+	// asserts that every judged scheme entered the emergency-reclamation
+	// pipeline (Summary.EmergencyScans > 0) and resolved every stall
+	// without surfacing an error (Summary.AllocFailures == 0), while the
+	// judge-less Leak baseline — which the pipeline cannot help — recorded
+	// failures instead of panicking.
+	WantPressure bool
 }
 
 // Backlog ceilings, from the schemes' bounds rather than measurement:
@@ -160,6 +167,54 @@ func Oversubscription() Canned {
 	}
 }
 
+// ExhaustionStorm runs the put-heavy churn on an arena deliberately too
+// small for the workload's allocation rate, with the scan cadence turned
+// off (CleanupFreq far above the retire volume): the Domain's emergency
+// allocation pipeline is the only reclamation in the run. Four writer
+// stalls strand a retire ring each — writer stalls, not reader stalls,
+// because a pinned reservation would make the pressure unresolvable for
+// EBR and the point is that every judged scheme resolves it. The live set
+// (~7/8 of KeyRange) occupies most of the arena, so allocation lives
+// against the ceiling, pressure holds above the advisor's threshold once
+// the map fills, and every put rides an emergency scan.
+func ExhaustionStorm() Canned {
+	return Canned{
+		Scenario: Scenario{
+			Name:     "exhaustion-storm",
+			Seed:     6,
+			KeyRange: 600,
+			Capacity: 640,
+			PutHeavy: true,
+			// No cadence scans: 1<<20 exceeds the run's total retires.
+			CleanupFreq: 1 << 20,
+			// Fast era clock, so the freshly-retired window a worker's own
+			// reservation pins stays a handful of blocks and its emergency
+			// scan can always free the rest of its ring.
+			EraFreq:   2,
+			SpillSize: 64,
+			Stalls: []StallSpec{
+				{Worker: 0, From: 10, To: 15, Kind: StallWriter},
+				{Worker: 1, From: 22, To: 27, Kind: StallWriter},
+				{Worker: 2, From: 34, To: 39, Kind: StallWriter},
+				{Worker: 0, From: 46, To: 51, Kind: StallWriter},
+			},
+			Debug: true,
+		},
+		// Every judged scheme's backlog is capped by the circulating pool
+		// (capacity minus the live set) plus stranded rings; Leak's grows
+		// to nearly the whole arena as deletes drain the exhausted map.
+		Ceiling: func(kind wfe.SchemeKind) int {
+			if kind == wfe.Leak {
+				return 0
+			}
+			return 384
+		},
+		WantAdvice:     "HP",
+		UnboundedFloor: 384,
+		WantPressure:   true,
+	}
+}
+
 // Catalog is the canned scenario matrix, in the order the docs and the
 // -chaos stress mode present it.
 func Catalog() []Canned {
@@ -169,5 +224,6 @@ func Catalog() []Canned {
 		PreemptedWriter(),
 		BurstyChurn(),
 		Oversubscription(),
+		ExhaustionStorm(),
 	}
 }

@@ -302,6 +302,27 @@ func (w *WFE) Alloc(tid int) mem.Handle {
 	return h
 }
 
+// TryAlloc is Alloc with backpressure: the era cadence still ticks, but
+// arena exhaustion reports (0, false) instead of panicking.
+func (w *WFE) TryAlloc(tid int) (mem.Handle, bool) {
+	t := &w.threads[tid]
+	if t.allocCount%uint64(w.cfg.EraFreq) == 0 {
+		w.incrementEra(tid)
+	}
+	t.allocCount++
+	h, ok := w.arena.TryAlloc(tid)
+	if !ok {
+		return 0, false
+	}
+	w.arena.SetAllocEra(h, w.globalEra.Load())
+	return h, true
+}
+
+// AdvanceClock ticks the global era out of the allocation cadence
+// (reclaim.ClockAdvancer) — the emergency-reclamation hook, routed
+// through incrementEra so pending slow-path requests get helped first.
+func (w *WFE) AdvanceClock(tid int) { w.incrementEra(tid) }
+
 // Retire implements the paper's retire (Figure 4, lines 77-85): stamp the
 // retire era and hand the block to the shared retire-side runtime, whose
 // gated scan runs PreScan first.

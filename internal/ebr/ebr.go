@@ -109,6 +109,23 @@ func (e *EBR) Alloc(tid int) mem.Handle {
 	return e.arena.Alloc(tid)
 }
 
+// TryAlloc is Alloc with backpressure: the epoch cadence still ticks, but
+// arena exhaustion reports (0, false) instead of panicking.
+func (e *EBR) TryAlloc(tid int) (mem.Handle, bool) {
+	t := &e.threads[tid]
+	if t.allocCount%uint64(e.cfg.EraFreq) == 0 {
+		e.tryAdvance(tid)
+	}
+	t.allocCount++
+	return e.arena.TryAlloc(tid)
+}
+
+// AdvanceClock attempts the global epoch advance out of the allocation
+// cadence (reclaim.ClockAdvancer) — the emergency-reclamation hook. Like
+// every EBR advance it only succeeds when no active thread lags the
+// current epoch.
+func (e *EBR) AdvanceClock(tid int) { e.tryAdvance(tid) }
+
 // Retire tags the block with the current epoch and hands it to the shared
 // retire-side runtime, which scans every CleanupFreq retirements.
 func (e *EBR) Retire(tid int, blk mem.Handle) {

@@ -1,0 +1,200 @@
+// Package failpoint is a deterministic fault-injection registry for the
+// wfe runtime. A Site is a named hook compiled permanently into a hot
+// path; when disarmed (the steady state) evaluating it costs one atomic
+// pointer load and a predictable branch — the same discipline as
+// internal/trace — so sites can live at arena allocation, retire-scan
+// entry and guard handoff without a measurable tax. Arming a Site
+// installs a Trigger that decides, deterministically, which evaluations
+// fire and what the firing does: return an injected error, sleep to
+// widen a race window, or both.
+//
+// Determinism is the point. The chaos harness replays hostile schedules
+// (allocation failure during a scheme switch, a stalled scan under
+// memory pressure) that cannot be provoked reliably from outside; a
+// Trigger's every-Nth / after-N counters and seeded-PRNG probability
+// make the injected faults a pure function of the evaluation sequence,
+// so a failing schedule is a reproducible regression input rather than
+// a flake.
+//
+// The package depends only on the standard library and may be imported
+// from any layer, including internal/mem.
+package failpoint
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trigger describes when an armed Site fires and what the firing
+// injects. The zero Trigger fires on every evaluation and injects
+// nothing observable (Err nil, no sleep) — useful only for counting.
+//
+// Selection composes as: skip the first AfterN evaluations, then fire
+// when the every-Nth counter or the seeded probability says so (if
+// neither selector is set, every post-AfterN evaluation fires).
+type Trigger struct {
+	// EveryNth fires on every Nth post-AfterN evaluation (1 = every
+	// evaluation). 0 disables the counter selector.
+	EveryNth uint64
+	// AfterN skips the first N evaluations entirely.
+	AfterN uint64
+	// Prob fires each post-AfterN evaluation with this probability,
+	// decided by a splitmix64 stream over Seed — deterministic in the
+	// evaluation index, not in wall time or goroutine identity.
+	Prob float64
+	// Seed seeds the probability stream. Two sites armed with the same
+	// Seed and Prob fire on the same evaluation indices.
+	Seed uint64
+	// OneShot disarms the Site after its first firing.
+	OneShot bool
+	// Err is returned from Eval when the Site fires. A nil Err makes
+	// the firing sleep-only (or a pure counter).
+	Err error
+	// Sleep delays the calling goroutine when the Site fires, before
+	// Eval returns. Use it to hold a racing thread inside a window the
+	// scheduler rarely exposes.
+	Sleep time.Duration
+}
+
+// armed is the installed state behind an atomic pointer: the Trigger
+// plus the evaluation counter the selectors consume.
+type armed struct {
+	t     Trigger
+	evals atomic.Uint64
+}
+
+// Site is one named injection point. Construct with New at package init
+// of the host; the zero Site is not valid.
+type Site struct {
+	name  string
+	state atomic.Pointer[armed]
+	fires atomic.Uint64
+}
+
+var registry struct {
+	mu    sync.Mutex
+	sites map[string]*Site
+}
+
+// New registers a Site under name and returns it. Registering the same
+// name twice returns the original Site, so tests and hosts can both
+// call New without coordinating init order.
+func New(name string) *Site {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if registry.sites == nil {
+		registry.sites = make(map[string]*Site)
+	}
+	if s, ok := registry.sites[name]; ok {
+		return s
+	}
+	s := &Site{name: name}
+	registry.sites[name] = s
+	return s
+}
+
+// Lookup returns the Site registered under name, if any.
+func Lookup(name string) (*Site, bool) {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	s, ok := registry.sites[name]
+	return s, ok
+}
+
+// Names returns every registered site name, sorted.
+func Names() []string {
+	registry.mu.Lock()
+	out := make([]string, 0, len(registry.sites))
+	for n := range registry.sites {
+		out = append(out, n)
+	}
+	registry.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// DisarmAll disarms every registered Site. Tests call it in cleanup so
+// an armed trigger cannot leak into the next test's hot path.
+func DisarmAll() {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	for _, s := range registry.sites {
+		s.state.Store(nil)
+	}
+}
+
+// Name returns the Site's registered name.
+func (s *Site) Name() string { return s.name }
+
+// Arm installs t, replacing any previous trigger and resetting the
+// evaluation counter.
+func (s *Site) Arm(t Trigger) {
+	a := &armed{t: t}
+	s.state.Store(a)
+}
+
+// Disarm removes the current trigger. Evaluations return to the
+// one-atomic-load fast path.
+func (s *Site) Disarm() { s.state.Store(nil) }
+
+// Fires reports how many evaluations have fired since the Site was
+// created (across arm/disarm cycles).
+func (s *Site) Fires() uint64 { return s.fires.Load() }
+
+// Eval is the hook the host hot path calls. Disarmed — the permanent
+// steady state — it is one atomic pointer load returning nil. Armed, it
+// advances the deterministic selectors and, when the Trigger fires,
+// sleeps Trigger.Sleep and returns Trigger.Err.
+//
+// The tid parameter is accepted for call-site symmetry with the rest of
+// the runtime and reserved for per-thread selectors; current triggers
+// select purely on the evaluation index.
+func (s *Site) Eval(tid int) error {
+	a := s.state.Load()
+	if a == nil {
+		return nil
+	}
+	return s.evalSlow(a)
+}
+
+func (s *Site) evalSlow(a *armed) error {
+	n := a.evals.Add(1)
+	if n <= a.t.AfterN {
+		return nil
+	}
+	idx := n - a.t.AfterN
+	fire := false
+	switch {
+	case a.t.EveryNth > 0:
+		fire = idx%a.t.EveryNth == 0
+	case a.t.Prob > 0:
+		// splitmix64 over Seed+index: a deterministic per-index coin.
+		fire = float64(splitmix64(a.t.Seed+n)>>11)/(1<<53) < a.t.Prob
+	default:
+		fire = true
+	}
+	if !fire {
+		return nil
+	}
+	if a.t.OneShot {
+		// Only the winning evaluation disarms; a lost CAS means another
+		// evaluation already fired and disarmed, so this one stands down.
+		if !s.state.CompareAndSwap(a, nil) {
+			return nil
+		}
+	}
+	s.fires.Add(1)
+	if a.t.Sleep > 0 {
+		time.Sleep(a.t.Sleep)
+	}
+	return a.t.Err
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,165 @@
+package failpoint
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+var errBoom = errors.New("boom")
+
+func TestDisarmedReturnsNil(t *testing.T) {
+	s := New("test-disarmed")
+	for i := 0; i < 1000; i++ {
+		if err := s.Eval(0); err != nil {
+			t.Fatalf("disarmed Eval returned %v", err)
+		}
+	}
+	if s.Fires() != 0 {
+		t.Fatalf("disarmed site counted %d fires", s.Fires())
+	}
+}
+
+func TestEveryNth(t *testing.T) {
+	s := New("test-every-nth")
+	defer s.Disarm()
+	s.Arm(Trigger{EveryNth: 3, Err: errBoom})
+	var fired []int
+	for i := 1; i <= 12; i++ {
+		if err := s.Eval(0); err != nil {
+			fired = append(fired, i)
+		}
+	}
+	want := []int{3, 6, 9, 12}
+	if len(fired) != len(want) {
+		t.Fatalf("fired on %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired on %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestAfterNSkipsPrefix(t *testing.T) {
+	s := New("test-after-n")
+	defer s.Disarm()
+	s.Arm(Trigger{AfterN: 5, Err: errBoom})
+	for i := 1; i <= 5; i++ {
+		if err := s.Eval(0); err != nil {
+			t.Fatalf("eval %d fired inside the AfterN prefix", i)
+		}
+	}
+	if err := s.Eval(0); !errors.Is(err, errBoom) {
+		t.Fatalf("eval 6 = %v, want errBoom", err)
+	}
+}
+
+func TestOneShotDisarmsItself(t *testing.T) {
+	s := New("test-one-shot")
+	defer s.Disarm()
+	s.Arm(Trigger{OneShot: true, Err: errBoom})
+	if err := s.Eval(0); !errors.Is(err, errBoom) {
+		t.Fatalf("first eval = %v, want errBoom", err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := s.Eval(0); err != nil {
+			t.Fatalf("one-shot fired twice: %v", err)
+		}
+	}
+}
+
+func TestProbabilityIsDeterministic(t *testing.T) {
+	run := func() []int {
+		s := New("test-prob")
+		defer s.Disarm()
+		s.Arm(Trigger{Prob: 0.3, Seed: 42, Err: errBoom})
+		var fired []int
+		for i := 1; i <= 200; i++ {
+			if err := s.Eval(0); err != nil {
+				fired = append(fired, i)
+			}
+		}
+		return fired
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("two identical runs fired %d vs %d times", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at firing %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	// 0.3 over 200 draws: expect roughly 60, and certainly not a
+	// degenerate all-or-nothing stream.
+	if len(a) < 30 || len(a) > 100 {
+		t.Errorf("p=0.3 over 200 evals fired %d times; selector looks broken", len(a))
+	}
+}
+
+func TestSleepDelaysCaller(t *testing.T) {
+	s := New("test-sleep")
+	defer s.Disarm()
+	s.Arm(Trigger{OneShot: true, Sleep: 20 * time.Millisecond})
+	start := time.Now()
+	if err := s.Eval(0); err != nil {
+		t.Fatalf("sleep-only trigger returned %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Errorf("firing slept only %v, want ~20ms", d)
+	}
+}
+
+func TestRegistryLookupAndDisarmAll(t *testing.T) {
+	s := New("test-registry")
+	if again := New("test-registry"); again != s {
+		t.Fatal("re-registering a name returned a different Site")
+	}
+	got, ok := Lookup("test-registry")
+	if !ok || got != s {
+		t.Fatal("Lookup did not find the registered site")
+	}
+	s.Arm(Trigger{Err: errBoom})
+	DisarmAll()
+	if err := s.Eval(0); err != nil {
+		t.Fatalf("site still armed after DisarmAll: %v", err)
+	}
+	names := Names()
+	found := false
+	for _, n := range names {
+		if n == "test-registry" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Names() = %v missing test-registry", names)
+	}
+}
+
+func TestOneShotUnderContention(t *testing.T) {
+	s := New("test-one-shot-race")
+	defer s.Disarm()
+	s.Arm(Trigger{OneShot: true, Err: errBoom})
+	var fired int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if err := s.Eval(0); err != nil {
+					mu.Lock()
+					fired++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if fired != 1 {
+		t.Fatalf("one-shot fired %d times under contention, want exactly 1", fired)
+	}
+}

@@ -32,8 +32,16 @@ import (
 	"sync/atomic"
 	"time"
 
+	"wfe/internal/failpoint"
 	"wfe/internal/trace"
 )
+
+// fpHandoff fires on Release's direct-handoff path, before the freed id
+// is offered to a parked waiter. A sleep trigger holds the releaser
+// inside the handoff window — the schedule where gate re-checks and
+// waiter wakeups race — for the chaos harness; injected errors are
+// ignored (a release must always complete).
+var fpHandoff = failpoint.New("guardpool-handoff")
 
 // emptyIdx is the freelist terminator: no next slot / empty pool.
 const emptyIdx = ^uint32(0)
@@ -264,6 +272,7 @@ func (p *Pool) Release(tid int) {
 	// way. The held decrement comes after the id is visibly back, so a
 	// pauser never reads Held()==0 while a release is still in flight.
 	if !p.Paused() && p.waiters.Load() > 0 {
+		_ = fpHandoff.Eval(tid) // sleep-only site; a release never fails
 		select {
 		case p.hand <- tid:
 			p.held.Add(-1)

@@ -125,6 +125,26 @@ func (h *HE) Alloc(tid int) mem.Handle {
 	return blk
 }
 
+// TryAlloc is Alloc with backpressure: the era cadence still ticks, but
+// arena exhaustion reports (0, false) instead of panicking.
+func (h *HE) TryAlloc(tid int) (mem.Handle, bool) {
+	t := &h.threads[tid]
+	if t.allocCount%uint64(h.cfg.EraFreq) == 0 {
+		h.advanceEra(tid)
+	}
+	t.allocCount++
+	blk, ok := h.arena.TryAlloc(tid)
+	if !ok {
+		return 0, false
+	}
+	h.arena.SetAllocEra(blk, h.globalEra.Load())
+	return blk, true
+}
+
+// AdvanceClock ticks the global era out of the allocation cadence
+// (reclaim.ClockAdvancer) — the emergency-reclamation hook.
+func (h *HE) AdvanceClock(tid int) { h.advanceEra(tid) }
+
 // Retire implements the paper's retire: stamp the retire era and hand the
 // block to the shared retire-side runtime (PreScan applies the race fix
 // right before each gated scan).

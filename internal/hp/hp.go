@@ -101,6 +101,12 @@ func (h *HP) Alloc(tid int) mem.Handle {
 	return h.arena.Alloc(tid)
 }
 
+// TryAlloc is Alloc with backpressure: arena exhaustion reports
+// (0, false) instead of panicking. HP has no era clock to tick.
+func (h *HP) TryAlloc(tid int) (mem.Handle, bool) {
+	return h.arena.TryAlloc(tid)
+}
+
 // Retire hands the block to the shared retire-side runtime, which scans
 // every CleanupFreq retirements through this package's Judge.
 func (h *HP) Retire(tid int, blk mem.Handle) {

@@ -137,6 +137,26 @@ func (ib *IBR) Alloc(tid int) mem.Handle {
 	return blk
 }
 
+// TryAlloc is Alloc with backpressure: the era cadence still ticks, but
+// arena exhaustion reports (0, false) instead of panicking.
+func (ib *IBR) TryAlloc(tid int) (mem.Handle, bool) {
+	t := &ib.threads[tid]
+	if t.allocCount%uint64(ib.cfg.EraFreq) == 0 {
+		ib.advanceEra(tid)
+	}
+	t.allocCount++
+	blk, ok := ib.arena.TryAlloc(tid)
+	if !ok {
+		return 0, false
+	}
+	ib.arena.SetAllocEra(blk, ib.globalEra.Load())
+	return blk, true
+}
+
+// AdvanceClock ticks the global era out of the allocation cadence
+// (reclaim.ClockAdvancer) — the emergency-reclamation hook.
+func (ib *IBR) AdvanceClock(tid int) { ib.advanceEra(tid) }
+
 // Retire stamps the retire era and hands the block to the shared
 // retire-side runtime.
 func (ib *IBR) Retire(tid int, blk mem.Handle) {

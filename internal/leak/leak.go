@@ -60,6 +60,13 @@ func (l *Leak) Alloc(tid int) mem.Handle {
 	return l.arena.Alloc(tid)
 }
 
+// TryAlloc is Alloc with backpressure: arena exhaustion reports
+// (0, false) instead of panicking. For the leak baseline exhaustion is
+// terminal — nothing is ever freed — so callers should not retry.
+func (l *Leak) TryAlloc(tid int) (mem.Handle, bool) {
+	return l.arena.TryAlloc(tid)
+}
+
 // Unreclaimed reports the total number of leaked blocks. The paper excludes
 // the leak baseline from unreclaimed-object plots; the harness does too.
 func (l *Leak) Unreclaimed() int { return l.rt.Unreclaimed() }

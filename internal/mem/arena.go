@@ -25,8 +25,21 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"wfe/internal/failpoint"
 	"wfe/internal/pack"
 	"wfe/internal/trace"
+)
+
+// Failpoint sites. Disarmed they cost one atomic load per evaluation;
+// armed they let the chaos harness script allocation failure and refill
+// starvation deterministically.
+var (
+	// fpAlloc fires inside TryAlloc: an injected error makes the
+	// allocation report exhaustion even when slots remain.
+	fpAlloc = failpoint.New("arena-alloc")
+	// fpRefill fires at refill entry: an injected error makes the miss
+	// path skip the global list, as if every segment were already claimed.
+	fpRefill = failpoint.New("arena-refill")
 )
 
 // Handle references an arena slot. 0 is nil; values 1..Capacity are slots.
@@ -119,6 +132,7 @@ type Arena struct {
 	tracer    *trace.Tracer
 	segPushes atomic.Uint64
 	segPops   atomic.Uint64
+	waiters   atomic.Int64 // allocations stalled on exhaustion (AddWaiter)
 }
 
 // New creates an arena. It panics on an invalid configuration: the arena is
@@ -163,10 +177,17 @@ func (a *Arena) slot(h Handle) *slot {
 	return &a.slots[h-1]
 }
 
-// Alloc returns a fresh live slot for thread tid, reusing freed slots when
-// available. It panics when the arena is exhausted: size the arena for the
-// workload (leak-baseline runs in particular must cover every allocation).
-func (a *Arena) Alloc(tid int) Handle {
+// TryAlloc returns a fresh live slot for thread tid, reusing freed slots
+// when available, or (0, false) when the arena is exhausted: tid's free
+// cache is empty, the global segment list has nothing to refill from, and
+// the bump region is spent. Exhaustion is a backpressure signal, not a
+// verdict — retired-but-unscanned blocks may become free after the next
+// reclamation scan, which is exactly what the Domain's emergency
+// allocation pipeline arranges before giving up.
+func (a *Arena) TryAlloc(tid int) (Handle, bool) {
+	if err := fpAlloc.Eval(tid); err != nil {
+		return 0, false
+	}
 	t := &a.threads[tid]
 	if t.freeHead == 0 {
 		a.refill(tid, t)
@@ -177,15 +198,27 @@ func (a *Arena) Alloc(tid int) Handle {
 		t.freeLen--
 		a.makeLive(h, s)
 		t.allocs.Add(1)
-		return h
+		return h, true
 	}
 	idx := a.bump.Add(1) - 1
 	if idx >= a.cap {
-		panic(fmt.Sprintf("mem: arena exhausted (capacity %d); size the arena for the workload", a.cap))
+		return 0, false
 	}
 	h := idx + 1
 	a.makeLive(h, a.slot(h))
 	t.allocs.Add(1)
+	return h, true
+}
+
+// Alloc is TryAlloc for callers that pre-size: it panics when the arena
+// is exhausted. Size the arena for the workload (leak-baseline runs in
+// particular must cover every allocation), or use TryAlloc and handle
+// the pressure.
+func (a *Arena) Alloc(tid int) Handle {
+	h, ok := a.TryAlloc(tid)
+	if !ok {
+		panic(fmt.Sprintf("mem: arena exhausted (capacity %d); size the arena for the workload", a.cap))
+	}
 	return h
 }
 
@@ -206,6 +239,19 @@ func (a *Arena) makeLive(h Handle, s *slot) {
 // other goroutine ever saw, so it skips the poison stores — the version
 // bump and state word below still arm double-free and use-after-free
 // detection for it.
+// AddWaiter registers (delta +1) or unregisters (-1) an allocation
+// stalled on the exhausted arena. While any waiter is registered, Free
+// spills past SpillSize instead of 2×SpillSize: under pressure a free
+// block hiding in a private cache is a block the stalled thread cannot
+// reach, so the caches keep only their working margin and everything
+// else flows to the global list where any thread can claim it.
+func (a *Arena) AddWaiter(delta int64) { a.waiters.Add(delta) }
+
+// Pressured reports whether any allocation is currently stalled on the
+// arena (registered via AddWaiter). Reclamation cadences consult it to
+// scan out of cadence while someone is starving.
+func (a *Arena) Pressured() bool { return a.waiters.Load() > 0 }
+
 func (a *Arena) Free(tid int, h Handle) {
 	s := a.slot(h)
 	if a.debug {
@@ -226,7 +272,7 @@ func (a *Arena) Free(tid int, h Handle) {
 	s.version.Add(1)
 	s.state.Store(slotFree)
 	t := &a.threads[tid]
-	if t.freeLen >= 2*a.spillSize {
+	if t.freeLen >= 2*a.spillSize || (t.freeLen > a.spillSize && a.waiters.Load() > 0) {
 		a.spillSegment(tid, t)
 	}
 	s.nextFree = t.freeHead
@@ -297,6 +343,9 @@ func (a *Arena) spillSegment(tid int, t *threadMem) {
 // advances the head stamp, so the CAS only succeeds when the read was of
 // the current cycle.
 func (a *Arena) refill(tid int, t *threadMem) {
+	if err := fpRefill.Eval(tid); err != nil {
+		return
+	}
 	for {
 		old := a.global.Load()
 		h := old & pack.HandleMask

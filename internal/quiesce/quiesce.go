@@ -37,13 +37,23 @@ func Settle[T any](d *wfe.Domain[T]) {
 	}
 	for _, g := range gs {
 		for i := 0; i < settleOps; i++ {
-			scratch.PushGuarded(g, zero)
+			// Exhaustion-tolerant: on an arena the workload filled (the
+			// leak baseline after an undersized run) there is nothing the
+			// churn could settle anyway.
+			if err := scratch.TryPushGuarded(g, zero); err != nil {
+				break
+			}
 			scratch.PopGuarded(g)
 		}
 	}
 	for _, g := range gs {
 		g.Release()
 	}
+	// The churn above only drives the cadence-triggered scans; a Domain
+	// running a lazy CleanupFreq would keep its residue until each tid
+	// retires CleanupFreq more blocks. The quiescent scavenge pass scans
+	// every ring unconditionally.
+	d.Scavenge()
 }
 
 // backlogFloor and backlogPerTid bound the retired-block backlog tolerated

@@ -44,8 +44,15 @@ type Scheme interface {
 	Clear(tid int)
 
 	// Alloc allocates a block and stamps its allocation era
-	// (paper: alloc_block()).
+	// (paper: alloc_block()). It panics when the arena is exhausted;
+	// callers that can degrade gracefully use TryAlloc.
 	Alloc(tid int) mem.Handle
+
+	// TryAlloc is Alloc with backpressure: it returns (0, false) instead
+	// of panicking when the arena is exhausted, after running the same
+	// era-clock bookkeeping Alloc would. The Domain's emergency
+	// reclamation pipeline sits on top of it.
+	TryAlloc(tid int) (mem.Handle, bool)
 
 	// Unreclaimed reports the number of retired-but-not-yet-freed blocks,
 	// the paper's reclamation-speed metric. The snapshot may be approximate
@@ -59,6 +66,16 @@ type Scheme interface {
 	// path through which the Domain and harness layers read the uniform
 	// retire/cleanup/step telemetry every scheme now reports.
 	Retirer() *Retirer
+}
+
+// ClockAdvancer is implemented by the era/epoch-clocked schemes (WFE, HE,
+// EBR, 2GEIBR, WFE-IBR): AdvanceClock ticks the global clock out of its
+// allocation cadence. Emergency reclamation uses it so a scan triggered by
+// arena exhaustion judges retired blocks against a fresher clock than the
+// one the stalled allocation path last advanced; the pointer-identity
+// schemes (HP) and the leak baseline have no clock and do not implement it.
+type ClockAdvancer interface {
+	AdvanceClock(tid int)
 }
 
 // Config carries the tuning parameters shared by the schemes, with the

@@ -13,9 +13,15 @@ import (
 	"sync/atomic"
 	"time"
 
+	"wfe/internal/failpoint"
 	"wfe/internal/mem"
 	"wfe/internal/trace"
 )
+
+// fpScan fires at Scan entry: an injected error skips the scan (the
+// chaos harness's "reclamation stalled" schedule), an injected sleep
+// holds the scanning thread inside the scan window.
+var fpScan = failpoint.New("retirer-scan")
 
 // A Judge is the scheme-specific half of a cleanup scan. The runtime calls
 // Gather exactly once per scan phase to snapshot whatever reservation state
@@ -157,6 +163,12 @@ func NewRetirer(arena *mem.Arena, cfg Config, judge Judge) *Retirer {
 // host crossover otherwise.
 func (r *Retirer) Cutoff() int { return r.cutoff }
 
+// Judged reports whether this Retirer has a Judge at all. The judge-less
+// leak baseline retires by counting alone — scanning it can never free a
+// block, so emergency-reclamation paths consult Judged before spending
+// scans on a backlog that cannot drain.
+func (r *Retirer) Judged() bool { return r.judge != nil }
+
 // Retire appends blk to tid's retire ring and runs the scheme's cadence
 // hooks: OnRetire on every retirement, then — every CleanupFreq
 // retirements — PreScan followed by a cleanup scan. The very first
@@ -176,7 +188,13 @@ func (r *Retirer) Retire(tid int, blk mem.Handle) {
 	if r.obs != nil {
 		r.obs.OnRetire(tid, n, blk)
 	}
-	if n%r.cleanupFreq == 0 {
+	// While an allocation is stalled on the exhausted arena, every retire
+	// scans out of cadence: rings are single-writer, so the stalled thread
+	// cannot reach this ring's blocks itself — its rescue depends on the
+	// ring's owner draining it. The eager-spill mode AddWaiter switched on
+	// then moves the frees to the global list where the waiter can claim
+	// them. Between stalls this is one relaxed load per retire.
+	if n%r.cleanupFreq == 0 || r.arena.Pressured() {
 		if r.pre != nil {
 			r.pre.PreScan(tid, blk)
 		}
@@ -204,6 +222,9 @@ func (r *Retirer) Add(tid int, blk mem.Handle) {
 // to collapse the backlog.
 func (r *Retirer) Scan(tid int) {
 	if r.judge == nil {
+		return
+	}
+	if err := fpScan.Eval(tid); err != nil {
 		return
 	}
 	t := &r.threads[tid]

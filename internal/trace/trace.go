@@ -56,6 +56,10 @@ const (
 	// outgoing SchemeKind, B the incoming one. Emitted on the shared ring
 	// (the switch runs with every guard released).
 	KindSchemeSwitch
+	// KindAllocStall: an allocation found the arena exhausted and entered
+	// the Domain's emergency-reclamation pipeline. A is the arena's
+	// allocated-block count at the stall, B its capacity.
+	KindAllocStall
 
 	kindCount
 )
@@ -78,6 +82,7 @@ var kindNames = [kindCount]string{
 	KindSegSpill:     "seg-spill",
 	KindSegRefill:    "seg-refill",
 	KindSchemeSwitch: "scheme-switch",
+	KindAllocStall:   "alloc-stall",
 }
 
 func (k Kind) String() string {

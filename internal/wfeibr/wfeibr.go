@@ -312,6 +312,27 @@ func (w *WFEIBR) Alloc(tid int) mem.Handle {
 	return blk
 }
 
+// TryAlloc is Alloc with backpressure: the era cadence still ticks, but
+// arena exhaustion reports (0, false) instead of panicking.
+func (w *WFEIBR) TryAlloc(tid int) (mem.Handle, bool) {
+	t := &w.threads[tid]
+	if t.allocCount%uint64(w.cfg.EraFreq) == 0 {
+		w.incrementEra(tid)
+	}
+	t.allocCount++
+	blk, ok := w.arena.TryAlloc(tid)
+	if !ok {
+		return 0, false
+	}
+	w.arena.SetAllocEra(blk, w.globalEra.Load())
+	return blk, true
+}
+
+// AdvanceClock ticks the global era out of the allocation cadence
+// (reclaim.ClockAdvancer) — the emergency-reclamation hook, routed
+// through the wait-free helping path like every other advance.
+func (w *WFEIBR) AdvanceClock(tid int) { w.incrementEra(tid) }
+
 // Retire stamps the retire era and hands the block to the shared
 // retire-side runtime; the era advances on retirement too (see the ibr
 // package), via the helping path, through the OnRetire hook.

@@ -195,6 +195,17 @@ var families = []metric{
 		func(t wfe.Telemetry) uint64 { return t.GuardCacheMisses }),
 	counter("wfe_scheme_switches", "Live scheme swaps completed by Domain.Switch.",
 		func(t wfe.Telemetry) uint64 { return t.SchemeSwitches }),
+	telGauge("wfe_arena_pressure", "Arena occupancy fraction (in-use blocks over capacity).",
+		func(t wfe.Telemetry) float64 {
+			if t.Capacity == 0 {
+				return 0
+			}
+			return float64(t.InUse) / float64(t.Capacity)
+		}),
+	counter("wfe_alloc_stalls", "Allocations that found the arena exhausted and entered the emergency-reclamation pipeline.",
+		func(t wfe.Telemetry) uint64 { return t.AllocStalls }),
+	counter("wfe_emergency_scans", "Out-of-cadence cleanup scans forced by allocation stalls.",
+		func(t wfe.Telemetry) uint64 { return t.EmergencyScans }),
 	rateGauge("wfe_allocs_per_second", "EWMA block allocation rate (sampler).",
 		func(r wfe.SamplerRates) float64 { return r.AllocsPerSec }),
 	rateGauge("wfe_frees_per_second", "EWMA block recycle rate (sampler).",

@@ -59,11 +59,31 @@ func (q *Queue[T]) Len() int {
 	return q.LenGuarded(g)
 }
 
+// TryEnqueue is Enqueue with backpressure: when the arena stays
+// exhausted after the Domain's emergency-reclamation pipeline it returns
+// ErrArenaExhausted instead of panicking.
+func (q *Queue[T]) TryEnqueue(v T) error {
+	g := q.d.Pin()
+	defer q.d.unpin(g)
+	return q.TryEnqueueGuarded(g, v)
+}
+
 // EnqueueGuarded is Enqueue on a caller-held guard.
 func (q *Queue[T]) EnqueueGuarded(g *Guard[T], v T) {
+	if err := q.TryEnqueueGuarded(g, v); err != nil {
+		panic(exhaustedPanic(q.d.arena.Capacity()))
+	}
+}
+
+// TryEnqueueGuarded is TryEnqueue on a caller-held guard.
+func (q *Queue[T]) TryEnqueueGuarded(g *Guard[T], v T) error {
+	// Allocate before entering the protected section (see Stack.TryPushGuarded).
+	node, err := g.TryAlloc(v)
+	if err != nil {
+		return err
+	}
 	g.Begin()
 	defer g.End()
-	node := g.Alloc(v)
 	for {
 		last := g.Protect(&q.tail, queueSlotLast)
 		next := g.Load(last, queueNext)
@@ -76,7 +96,7 @@ func (q *Queue[T]) EnqueueGuarded(g *Guard[T], v T) {
 		}
 		if g.CompareAndSwap(last, queueNext, Ref[T]{}, node) {
 			q.tail.CompareAndSwap(last, node)
-			return
+			return nil
 		}
 	}
 }

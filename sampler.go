@@ -205,13 +205,19 @@ func (s *Sampler) tick(now time.Time) {
 	s.rates.Backlog = row.Unreclaimed
 	s.prev, s.prevTime = row, now
 
+	pressure := 0.0
+	if row.Capacity > 0 {
+		pressure = float64(row.InUse) / float64(row.Capacity)
+	}
 	rec, changed := s.mon.Push(advisor.Sample{
-		Tick:        tickIdx,
-		Unreclaimed: row.Unreclaimed,
-		ScanScans:   row.ScanScans,
-		ScanBlocks:  row.ScanBlocks,
-		P99Steps:    row.P99Steps,
-		GuardParks:  row.GuardParks,
+		Tick:           tickIdx,
+		Unreclaimed:    row.Unreclaimed,
+		ScanScans:      row.ScanScans,
+		ScanBlocks:     row.ScanBlocks,
+		P99Steps:       row.P99Steps,
+		GuardParks:     row.GuardParks,
+		Pressure:       pressure,
+		EmergencyScans: row.EmergencyScans,
 	})
 	s.rec, s.hasRec = rec, true
 	cb := s.onRec

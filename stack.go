@@ -42,16 +42,39 @@ func (s *Stack[T]) Len() int {
 	return s.LenGuarded(g)
 }
 
+// TryPush is Push with backpressure: when the arena stays exhausted
+// after the Domain's emergency-reclamation pipeline it returns
+// ErrArenaExhausted instead of panicking.
+func (s *Stack[T]) TryPush(v T) error {
+	g := s.d.Pin()
+	defer s.d.unpin(g)
+	return s.TryPushGuarded(g, v)
+}
+
 // PushGuarded is Push on a caller-held guard.
 func (s *Stack[T]) PushGuarded(g *Guard[T], v T) {
+	if err := s.TryPushGuarded(g, v); err != nil {
+		panic(exhaustedPanic(s.d.arena.Capacity()))
+	}
+}
+
+// TryPushGuarded is TryPush on a caller-held guard.
+func (s *Stack[T]) TryPushGuarded(g *Guard[T], v T) error {
+	// Allocate before entering the protected section: if the arena is
+	// exhausted, the emergency pipeline then stalls with no protection
+	// announced, so it cannot pin the epoch or any era against the
+	// concurrent scans it is waiting on.
+	n, err := g.TryAlloc(v)
+	if err != nil {
+		return err
+	}
 	g.Begin()
 	defer g.End()
-	n := g.Alloc(v)
 	for {
 		old := s.top.Load()
 		g.Store(n, stackNext, old)
 		if s.top.CompareAndSwap(old, n) {
-			return
+			return nil
 		}
 	}
 }

@@ -236,8 +236,28 @@ func (t *Tree[T]) checkKey(key uint64) {
 	}
 }
 
+// TryInsert is Insert with backpressure: when the key is absent and the
+// arena stays exhausted after the Domain's emergency-reclamation
+// pipeline, it returns ErrArenaExhausted instead of panicking. ok
+// reports the insert outcome (false with a nil error means the key was
+// already present).
+func (t *Tree[T]) TryInsert(key uint64, val T) (ok bool, err error) {
+	g := t.d.Pin()
+	defer t.d.unpin(g)
+	return t.TryInsertGuarded(g, key, val)
+}
+
 // InsertGuarded is Insert on a caller-held guard.
 func (t *Tree[T]) InsertGuarded(g *Guard[T], key uint64, val T) bool {
+	ok, err := t.TryInsertGuarded(g, key, val)
+	if err != nil {
+		panic(exhaustedPanic(t.d.arena.Capacity()))
+	}
+	return ok
+}
+
+// TryInsertGuarded is TryInsert on a caller-held guard.
+func (t *Tree[T]) TryInsertGuarded(g *Guard[T], key uint64, val T) (ok bool, err error) {
 	t.checkKey(key)
 	g.Begin()
 	defer g.End()
@@ -252,13 +272,46 @@ func (t *Tree[T]) InsertGuarded(g *Guard[T], key uint64, val T) bool {
 				g.Dealloc(newLeaf) // never published
 				g.Dealloc(newInt)
 			}
-			return false
+			return false, nil
 		}
 		if newLeaf.IsNil() {
-			newLeaf = g.Alloc(val)
+			// An insert needs two blocks (routing node + leaf), allocated
+			// lazily so a duplicate-key insert pays nothing. The site sits
+			// inside the protected section, so exhaustion drops the
+			// protection, runs the emergency pipeline unprotected, and
+			// restarts the seek with the blocks in hand; the first block is
+			// undone when the second cannot be had, so a failed insert
+			// leaks nothing.
+			var fast bool
+			if newLeaf, fast = g.tryAllocFast(val); !fast {
+				g.End()
+				newLeaf, err = g.TryAlloc(val)
+				if err == nil {
+					g.StoreMeta(newLeaf, treeKey, key)
+					g.StoreMeta(newLeaf, treeIsLeaf, 1)
+					newInt, err = g.TryAlloc(zero)
+					if err != nil {
+						g.Dealloc(newLeaf)
+					}
+				}
+				g.Begin()
+				if err != nil {
+					return false, err
+				}
+				continue // the seek window went stale while unprotected
+			}
 			g.StoreMeta(newLeaf, treeKey, key)
 			g.StoreMeta(newLeaf, treeIsLeaf, 1)
-			newInt = g.Alloc(zero)
+			if newInt, fast = g.tryAllocFast(zero); !fast {
+				g.End()
+				newInt, err = g.TryAlloc(zero)
+				g.Begin()
+				if err != nil {
+					g.Dealloc(newLeaf)
+					return false, err
+				}
+				continue
+			}
 		}
 		// The new internal node routes between the new leaf and the old one.
 		if key < leafKey {
@@ -271,7 +324,7 @@ func (t *Tree[T]) InsertGuarded(g *Guard[T], key uint64, val T) bool {
 			g.Store(newInt, treeRight, newLeaf)
 		}
 		if g.CompareAndSwap(sr.par, sr.leafDir, sr.leafEdge, newInt) {
-			return true
+			return true, nil
 		}
 		// Edge changed; if a deletion froze it, help before retrying.
 		if treeFrozen(g.Load(sr.par, sr.leafDir)) {
@@ -327,16 +380,41 @@ func (t *Tree[T]) GetGuarded(g *Guard[T], key uint64) (v T, ok bool) {
 	return g.Value(sr.leaf), true
 }
 
+// TryPut is Put with backpressure: when the arena stays exhausted after
+// the Domain's emergency-reclamation pipeline it returns
+// ErrArenaExhausted (leaving the tree unchanged) instead of panicking.
+func (t *Tree[T]) TryPut(key uint64, val T) error {
+	g := t.d.Pin()
+	defer t.d.unpin(g)
+	return t.TryPutGuarded(g, key, val)
+}
+
 // PutGuarded is Put on a caller-held guard.
 func (t *Tree[T]) PutGuarded(g *Guard[T], key uint64, val T) {
+	if err := t.TryPutGuarded(g, key, val); err != nil {
+		panic(exhaustedPanic(t.d.arena.Capacity()))
+	}
+}
+
+// TryPutGuarded is TryPut on a caller-held guard.
+func (t *Tree[T]) TryPutGuarded(g *Guard[T], key uint64, val T) error {
 	t.checkKey(key)
 	for {
-		done, found := t.tryReplace(g, key, val)
-		if done {
-			return
+		done, found, err := t.tryReplace(g, key, val)
+		if err != nil {
+			return err
 		}
-		if !found && t.InsertGuarded(g, key, val) {
-			return
+		if done {
+			return nil
+		}
+		if !found {
+			ok, err := t.TryInsertGuarded(g, key, val)
+			if err != nil {
+				return err
+			}
+			if ok {
+				return nil
+			}
 		}
 	}
 }
@@ -347,7 +425,7 @@ func (t *Tree[T]) PutGuarded(g *Guard[T], key uint64, val T) {
 // contended Put pays one alloc, not one per CAS retry. found reports
 // whether the key was present (false directs Put to the insert path);
 // done reports whether the replacement landed.
-func (t *Tree[T]) tryReplace(g *Guard[T], key uint64, val T) (done, found bool) {
+func (t *Tree[T]) tryReplace(g *Guard[T], key uint64, val T) (done, found bool, err error) {
 	g.Begin()
 	defer g.End()
 	var sr treeSeek[T]
@@ -358,16 +436,29 @@ func (t *Tree[T]) tryReplace(g *Guard[T], key uint64, val T) (done, found bool) 
 			if !newLeaf.IsNil() {
 				g.Dealloc(newLeaf) // never published
 			}
-			return false, false
+			return false, false, nil
 		}
 		if newLeaf.IsNil() {
-			newLeaf = g.Alloc(val)
+			var fast bool
+			if newLeaf, fast = g.tryAllocFast(val); !fast {
+				// Exhausted mid-seek: drop the protection before blocking
+				// in the emergency pipeline, then restart the seek.
+				g.End()
+				newLeaf, err = g.TryAlloc(val)
+				g.Begin()
+				if err != nil {
+					return false, false, err
+				}
+				g.StoreMeta(newLeaf, treeKey, key)
+				g.StoreMeta(newLeaf, treeIsLeaf, 1)
+				continue
+			}
 			g.StoreMeta(newLeaf, treeKey, key)
 			g.StoreMeta(newLeaf, treeIsLeaf, 1)
 		}
 		if g.CompareAndSwap(sr.par, sr.leafDir, sr.leafEdge, newLeaf) {
 			g.Retire(sr.leaf)
-			return true, true
+			return true, true, nil
 		}
 		// Edge changed; if a deletion froze it, help before retrying.
 		if treeFrozen(g.Load(sr.par, sr.leafDir)) {

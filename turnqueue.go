@@ -1,6 +1,10 @@
 package wfe
 
-import "wfe/internal/ds/crturn"
+import (
+	"errors"
+
+	"wfe/internal/ds/crturn"
+)
 
 // TurnQueue is the CRTurn wait-free MPMC FIFO queue of T (Ramalhete &
 // Correia), the second wait-free structure of the paper's evaluation
@@ -58,10 +62,42 @@ func (q *TurnQueue[T]) Len() int {
 	return q.LenGuarded(g)
 }
 
+// TryEnqueue is Enqueue with backpressure: when the arena stays
+// exhausted after the Domain's emergency-reclamation pipeline it returns
+// ErrArenaExhausted instead of panicking.
+func (q *TurnQueue[T]) TryEnqueue(v T) error {
+	g := q.d.Pin()
+	defer q.d.unpin(g)
+	return q.TryEnqueueGuarded(g, v)
+}
+
 // EnqueueGuarded is Enqueue on a caller-held guard.
 func (q *TurnQueue[T]) EnqueueGuarded(g *Guard[T], v T) {
 	box := g.Alloc(v)
 	q.q.Enqueue(g.tid, box.handle())
+}
+
+// TryEnqueueGuarded is TryEnqueue on a caller-held guard. The turn
+// protocol allocates queue nodes internally; an exhaustion hit inside
+// that machinery is caught here, the value box is reclaimed, and the
+// queue is left unchanged.
+func (q *TurnQueue[T]) TryEnqueueGuarded(g *Guard[T], v T) (err error) {
+	box, err := g.TryAlloc(v)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok && errors.Is(e, ErrArenaExhausted) {
+				g.Dealloc(box)
+				err = ErrArenaExhausted
+				return
+			}
+			panic(r)
+		}
+	}()
+	q.q.Enqueue(g.tid, box.handle())
+	return nil
 }
 
 // DequeueGuarded is Dequeue on a caller-held guard.

@@ -1,6 +1,10 @@
 package wfe
 
-import "wfe/internal/ds/kpqueue"
+import (
+	"errors"
+
+	"wfe/internal/ds/kpqueue"
+)
 
 // WFQueue is the Kogan–Petrank wait-free MPMC FIFO queue of T (PPoPP 2011)
 // on the typed Domain façade — the paper's headline workload: combined with
@@ -57,10 +61,42 @@ func (q *WFQueue[T]) Len() int {
 	return q.LenGuarded(g)
 }
 
+// TryEnqueue is Enqueue with backpressure: when the arena stays
+// exhausted after the Domain's emergency-reclamation pipeline it returns
+// ErrArenaExhausted instead of panicking.
+func (q *WFQueue[T]) TryEnqueue(v T) error {
+	g := q.d.Pin()
+	defer q.d.unpin(g)
+	return q.TryEnqueueGuarded(g, v)
+}
+
 // EnqueueGuarded is Enqueue on a caller-held guard.
 func (q *WFQueue[T]) EnqueueGuarded(g *Guard[T], v T) {
 	box := g.Alloc(v)
 	q.q.Enqueue(g.tid, box.handle())
+}
+
+// TryEnqueueGuarded is TryEnqueue on a caller-held guard. The helping
+// protocol allocates queue nodes internally; an exhaustion hit inside
+// that machinery is caught here, the value box is reclaimed, and the
+// queue is left unchanged.
+func (q *WFQueue[T]) TryEnqueueGuarded(g *Guard[T], v T) (err error) {
+	box, err := g.TryAlloc(v)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok && errors.Is(e, ErrArenaExhausted) {
+				g.Dealloc(box)
+				err = ErrArenaExhausted
+				return
+			}
+			panic(r)
+		}
+	}()
+	q.q.Enqueue(g.tid, box.handle())
+	return nil
 }
 
 // DequeueGuarded is Dequeue on a caller-held guard.
