@@ -29,6 +29,11 @@
 //
 //	wfebench -ablation scan
 //
+// Batched operations (MultiPut/MultiDelete widths 1..128 against the
+// per-op baseline, per scheme):
+//
+//	wfebench -ablation batch
+//
 // Machine-readable trajectory artifact (all figures + the scan ablation;
 // -short shrinks every parameter to CI scale):
 //
@@ -53,7 +58,7 @@ import (
 func main() {
 	var (
 		figure   = flag.String("figure", "", "figure id (5a,5c,6,7,8,9,10,11 or 'all')")
-		ablation = flag.String("ablation", "", "ablation (attempts, slowpath, erafreq, stall, wfeibr, guards, workloads, scan)")
+		ablation = flag.String("ablation", "", "ablation (attempts, slowpath, erafreq, stall, wfeibr, guards, workloads, scan, batch)")
 		threads  = flag.String("threads", "", "comma-separated thread counts (default: powers of two up to GOMAXPROCS)")
 		duration = flag.Duration("duration", 500*time.Millisecond, "measurement duration per point")
 		repeat   = flag.Int("repeat", 1, "repetitions per point (best reported)")
@@ -163,8 +168,8 @@ func writeJSONReport(opt bench.Options, path string) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		fatalf("writing %s: %v", path, err)
 	}
-	fmt.Printf("wrote %s: %d figure points, %d scan-ablation points (%s, %d CPUs)\n",
-		path, len(rep.Figures), len(rep.ScanAblation), rep.GoVersion, rep.NumCPU)
+	fmt.Printf("wrote %s: %d figure points, %d scan-ablation points, %d batch-ablation points (%s, %d CPUs)\n",
+		path, len(rep.Figures), len(rep.ScanAblation), len(rep.BatchAblation), rep.GoVersion, rep.NumCPU)
 	for _, line := range bench.ScanSummary(rep.ScanAblation) {
 		fmt.Println("  " + line)
 	}
@@ -272,6 +277,10 @@ func runAblation(name string, opt bench.Options, csv bool) {
 		runScan(opt, csv)
 		return
 	}
+	if name == "batch" {
+		runBatch(opt, csv)
+		return
+	}
 	var results []bench.AblationResult
 	switch name {
 	case "attempts":
@@ -285,7 +294,7 @@ func runAblation(name string, opt bench.Options, csv bool) {
 	case "wfeibr":
 		results = bench.AblationWaitFreeIBR(opt)
 	default:
-		fatalf("unknown ablation %q (want attempts, slowpath, erafreq, stall, wfeibr, guards, workloads, scan)", name)
+		fatalf("unknown ablation %q (want attempts, slowpath, erafreq, stall, wfeibr, guards, workloads, scan, batch)", name)
 	}
 	if csv {
 		fmt.Println("ablation,param,scheme,ds,threads,mops,slow_per_mop,unreclaimed")
@@ -341,6 +350,41 @@ func runScan(opt bench.Options, csv bool) {
 	fmt.Println("sorted* = gathered set below the runtime's calibrated sort cutoff")
 	fmt.Println("(reclaim.Calibrate), so the sorted arm adaptively ran the linear")
 	fmt.Println("sweep (the pair compares nothing).")
+}
+
+// runBatch renders the batched-operations ablation: per-op baseline vs
+// MultiPut/MultiDelete at each batch width, per scheme and goroutine
+// count, with the speedup factor and the batch lease-cache hit rate.
+func runBatch(opt bench.Options, csv bool) {
+	results := bench.AblationBatch(opt)
+	if csv {
+		fmt.Println("scheme,goroutines,batch_size,mops,speedup,batch_lease_hit_rate,exhausted")
+		for _, r := range results {
+			fmt.Printf("%s,%d,%d,%.4f,%.3f,%.3f,%v\n",
+				r.Scheme, r.Goroutines, r.BatchSize, r.Mops, r.Speedup,
+				r.BatchLeaseHitRate, r.Exhausted)
+		}
+		return
+	}
+	fmt.Printf("\n=== Ablation: batch (hash map, 50%% put / 50%% delete, guardless) ===\n")
+	fmt.Printf("%-10s%12s%8s%12s%10s%12s\n",
+		"scheme", "goroutines", "batch", "Mops/s", "speedup", "lease-hit")
+	for _, r := range results {
+		batch := "per-op"
+		if r.BatchSize > 0 {
+			batch = strconv.Itoa(r.BatchSize)
+		}
+		mops := fmt.Sprintf("%.3f", r.Mops)
+		if r.Exhausted {
+			mops += "*"
+		}
+		fmt.Printf("%-10s%12d%8s%12s%9.2fx%12.2f\n",
+			r.Scheme, r.Goroutines, batch, mops, r.Speedup, r.BatchLeaseHitRate)
+	}
+	fmt.Println("\nspeedup is against the per-op row of the same scheme/goroutines:")
+	fmt.Println("one lease, one protection span (era/epoch/interval schemes; HP still")
+	fmt.Println("rotates hazards per item) and one retire burst per batch. batch=1")
+	fmt.Println("measures the batch path's fixed overhead and should sit near 1.0x.")
 }
 
 // runGuardOverhead renders the guard-runtime experiment: throughput per

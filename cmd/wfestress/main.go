@@ -32,6 +32,16 @@
 // panics or fails the final census; -switchout writes the per-hop log
 // and sampler rows as wfe-switch/v1 JSON for artifact upload.
 //
+// The -batch mode is the batched-operations correctness twin of the
+// bench ablation: 8x more goroutines than guards drive the batch entry
+// points (MultiPut/MultiDelete/MultiGet, PushAll/PopN and their Try*
+// twins, guardless and pinned) at mixed widths while Domain.Switch
+// rotates through every scheme and the arena-alloc failpoint injects
+// probabilistic allocation faults — an exhaustion storm that forces the
+// Try* partial-progress paths mid-burst. The debug arena is armed; the
+// run ends with a clean quiesce census and asserts the batch telemetry
+// actually counted the bursts.
+//
 // Every mode can serve live OpenMetrics with -metrics; -churn can record
 // a Chrome trace-event artifact (wfe-trace/v1) of the guard runtime's
 // internal events with -trace.
@@ -42,11 +52,13 @@
 //	wfestress -workloads -scheme all -duration 1s
 //	wfestress -chaos -scheme all -chaosdir chaos-out
 //	wfestress -switch -duration 5s -switchout switch-trajectory.json
+//	wfestress -batch -duration 5s
 //	wfestress -churn -scheme WFE -trace churn-trace.json -metrics 127.0.0.1:9100
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -66,6 +78,7 @@ import (
 	"wfe/internal/ds/hashmap"
 	"wfe/internal/ds/kpqueue"
 	"wfe/internal/ds/list"
+	"wfe/internal/failpoint"
 	"wfe/internal/mem"
 	"wfe/internal/quiesce"
 	"wfe/internal/reclaim"
@@ -106,6 +119,7 @@ func main() {
 		chaosDir  = flag.String("chaosdir", "", "with -chaos: directory to write per-(scenario,scheme) trajectory JSONs into")
 		chaosName = flag.String("scenario", "", "with -chaos: run only the named scenario (default: the whole catalog)")
 		switchRun = flag.Bool("switch", false, "live-switching storm: cycle Domain.Switch through every scheme under guardless churn")
+		batchRun  = flag.Bool("batch", false, "batched-operations storm: batch bursts at mixed widths racing Domain.Switch and injected allocation faults")
 		switchOut = flag.String("switchout", "", "with -switch: write the storm's hop log and sampler trajectory as wfe-switch/v1 JSON to this file")
 		maddr     = flag.String("metrics", "", "serve OpenMetrics/pprof on this address while stressing (e.g. 127.0.0.1:9100)")
 		traceOut  = flag.String("trace", "", "with -churn: record the domain's event trace and write it as Chrome trace-event JSON (wfe-trace/v1) to this file")
@@ -133,6 +147,13 @@ func main() {
 	}
 
 	failed := false
+	if *batchRun {
+		if err := batchStorm(*threads, *duration, *keyRange, *eraFreq); err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL batch: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *switchRun {
 		if err := switchStorm(*threads, *duration, *keyRange, *eraFreq, *switchOut); err != nil {
 			fmt.Fprintf(os.Stderr, "FAIL switch: %v\n", err)
@@ -445,6 +466,207 @@ func switchStorm(threads int, duration time.Duration, keyRange uint64,
 	fmt.Printf("PASS switch           : %d ops, %d switches over %d schemes, %d goroutines over %d guards, %d unreclaimed in %v\n",
 		ops.Load(), len(hops), len(rotation), goroutines, threads,
 		tel.Unreclaimed, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// batchStorm is the batched-operations correctness twin of the bench
+// ablation: 8x more goroutines than guards drive the batch entry points
+// on a HashMap and a Stack at mixed widths — guardless Try*/Multi*
+// bursts plus pinned Guarded bursts — while a switcher cycles
+// Domain.Switch through every scheme and the arena-alloc failpoint
+// makes roughly one allocation in 500 fail, forcing the Try* paths to
+// surface partial progress mid-burst and the plain paths through the
+// emergency-reclamation pipeline. The retirer-scan failpoint skips an
+// occasional scan so the backlog breathes between bursts. The debug
+// arena is armed throughout; after the storm the failpoints are
+// disarmed, the structures drained, and the run must pass a full
+// quiesce census and show the batch telemetry counted the bursts.
+func batchStorm(threads int, duration time.Duration, keyRange uint64,
+	eraFreq int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	defer failpoint.DisarmAll()
+	if site, ok := failpoint.Lookup("arena-alloc"); ok {
+		site.Arm(failpoint.Trigger{Prob: 0.002, Seed: 17,
+			Err: errors.New("injected alloc fault")})
+	}
+	if site, ok := failpoint.Lookup("retirer-scan"); ok {
+		site.Arm(failpoint.Trigger{Prob: 0.01, Seed: 29,
+			Err: errors.New("injected scan skip")})
+	}
+
+	d, err := wfe.NewDomain[uint64](wfe.Options{
+		Scheme:      wfe.WFE,
+		Capacity:    1 << 22, // headroom for the Leak dwells' unreclaimed spikes
+		MaxGuards:   threads,
+		EraFreq:     eraFreq,
+		CleanupFreq: 4,
+		Debug:       true,
+	})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	observe("batch", d.Telemetry)
+	m := wfe.NewHashMap[uint64](d, 64)
+	st := wfe.NewStack[uint64](d)
+
+	goroutines := 8 * threads
+	widths := []int{2, 8, 32}
+	var (
+		stop        atomic.Bool
+		bursts      atomic.Uint64
+		items       atomic.Uint64
+		exhausts    atomic.Uint64
+		workerPanic atomic.Pointer[string]
+		wg          sync.WaitGroup
+	)
+	// benign reports nil for the one error the exhaustion storm is meant
+	// to provoke (counting it), and the error itself for anything else —
+	// any other failure escaping a batch entry point is a bug.
+	benign := func(terr error) error {
+		if terr == nil {
+			return nil
+		}
+		if errors.Is(terr, wfe.ErrArenaExhausted) {
+			exhausts.Add(1)
+			return nil
+		}
+		return terr
+	}
+	start := time.Now()
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					msg := fmt.Sprint(r)
+					workerPanic.CompareAndSwap(nil, &msg)
+					stop.Store(true)
+				}
+			}()
+			rng := rand.New(rand.NewSource(int64(w)*7919 + 3))
+			ks := make([]uint64, 0, 32)
+			vs := make([]uint64, 0, 32)
+			for !stop.Load() {
+				n := widths[rng.Intn(len(widths))]
+				ks, vs = ks[:0], vs[:0]
+				for i := 0; i < n; i++ {
+					k := uint64(rng.Int63n(int64(keyRange)))
+					ks = append(ks, k)
+					vs = append(vs, k)
+				}
+				done := 0
+				switch rng.Intn(6) {
+				case 0:
+					applied, terr := m.TryMultiPut(ks, vs)
+					if terr = benign(terr); terr != nil {
+						panic(terr)
+					}
+					done = applied
+				case 1:
+					m.MultiDelete(ks)
+					done = n
+				case 2:
+					m.MultiGet(ks)
+					done = n
+				case 3:
+					pushed, terr := st.TryPushAll(vs)
+					if terr = benign(terr); terr != nil {
+						panic(terr)
+					}
+					done = pushed
+				case 4:
+					done = len(st.PopN(n))
+				default: // pinned guard: two bursts amortize one lease
+					g := d.Pin()
+					applied, terr := m.TryMultiPutGuarded(g, ks, vs)
+					if terr = benign(terr); terr != nil {
+						d.Unpin(g)
+						panic(terr)
+					}
+					done = applied
+					if applied == n {
+						m.MultiDeleteGuarded(g, ks)
+						done += n
+					}
+					d.Unpin(g)
+				}
+				bursts.Add(1)
+				items.Add(uint64(done))
+			}
+		}(w)
+	}
+
+	// The switcher: same rotation as the -switch storm, so every scheme's
+	// BeginBatch/RetireBatch path runs under the storm, and the switch
+	// gate has to drain guards that are mid-burst.
+	const dwell = 20 * time.Millisecond
+	rotation := wfe.AllSchemes()
+	switches := 0
+	for i := 0; time.Since(start) < duration && !stop.Load(); i++ {
+		time.Sleep(dwell)
+		to := rotation[i%len(rotation)]
+		if to == d.Scheme() {
+			continue
+		}
+		if serr := d.Switch(to); serr != nil {
+			stop.Store(true)
+			wg.Wait()
+			return fmt.Errorf("switch %d to %v: %v", i, to, serr)
+		}
+		switches++
+	}
+	if d.Scheme() == wfe.Leak {
+		if serr := d.Switch(wfe.WFE); serr != nil {
+			stop.Store(true)
+			wg.Wait()
+			return fmt.Errorf("final hop off Leak: %v", serr)
+		}
+		switches++
+	}
+	stop.Store(true)
+	wg.Wait()
+	if msg := workerPanic.Load(); msg != nil {
+		return fmt.Errorf("worker panic: %s", *msg)
+	}
+
+	// Quiesce with the faults disarmed: the census needs real scans and
+	// real allocations, and the drain itself runs through the batch
+	// paths one last time.
+	failpoint.DisarmAll()
+	for len(st.PopN(64)) > 0 {
+	}
+	drain := make([]uint64, 0, 64)
+	for lo := uint64(0); lo < keyRange; lo += 64 {
+		drain = drain[:0]
+		for k := lo; k < lo+64 && k < keyRange; k++ {
+			drain = append(drain, k)
+		}
+		m.MultiDelete(drain)
+	}
+	quiesce.Settle(d)
+	if err := quiesce.Check(d, true); err != nil {
+		return err
+	}
+	tel := d.Telemetry()
+	if got, want := tel.SchemeSwitches, uint64(switches); got != want {
+		return fmt.Errorf("SchemeSwitches = %d, want %d", got, want)
+	}
+	if tel.BatchOps == 0 || tel.BatchedItems == 0 {
+		return fmt.Errorf("batch telemetry empty: BatchOps=%d BatchedItems=%d",
+			tel.BatchOps, tel.BatchedItems)
+	}
+	if tel.BatchOps < bursts.Load() {
+		return fmt.Errorf("BatchOps = %d, storm ran %d bursts", tel.BatchOps, bursts.Load())
+	}
+	fmt.Printf("PASS batch            : %d bursts (%d items), %d switches, %d injected exhaustions, %d goroutines over %d guards, %d unreclaimed in %v\n",
+		bursts.Load(), items.Load(), switches, exhausts.Load(),
+		goroutines, threads, tel.Unreclaimed, time.Since(start).Round(time.Millisecond))
 	return nil
 }
 

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	wfetraj -base BENCH_BASELINE.json -new BENCH_5.json [-noise 10] [-flagged] [-strict]
+//	wfetraj -base BENCH_BASELINE.json -new BENCH_10.json [-noise 10] [-flagged] [-strict]
 //
 // The default run is informational: every compared point is printed with
 // its delta and the exit status is 0 regardless of what moved (CI runs it
@@ -163,6 +163,69 @@ func compare(base, cur bench.Report, noise float64) comparison {
 			})
 		}
 	}
+	compareBatch(base, cur, noise, &out)
 	sort.Slice(out.lines, func(i, j int) bool { return out.lines[i].text < out.lines[j].text })
 	return out
+}
+
+// compareBatch joins the optional batch-ablation sections on the
+// (scheme, goroutines, batch size) key. Artifacts predating the batch
+// APIs simply have no rows, so nothing is compared or reported missing
+// for them.
+func compareBatch(base, cur bench.Report, noise float64, out *comparison) {
+	type bkey struct {
+		scheme          string
+		threads, bwidth int
+	}
+	baseByKey := map[bkey]bench.BatchResult{}
+	for _, r := range base.BatchAblation {
+		baseByKey[bkey{r.Scheme, r.Goroutines, r.BatchSize}] = r
+	}
+	seen := map[bkey]bool{}
+	for _, r := range cur.BatchAblation {
+		k := bkey{r.Scheme, r.Goroutines, r.BatchSize}
+		seen[k] = true
+		b, ok := baseByKey[k]
+		if !ok {
+			if len(base.BatchAblation) > 0 {
+				out.onlyNew++
+				out.lines = append(out.lines, line{
+					text:    fmt.Sprintf("batch b%-4d %-8s %3dt  %24s -> %7.3f Mops/s   (only in new)", k.bwidth, k.scheme, k.threads, "", r.Mops),
+					outside: true,
+				})
+			}
+			continue
+		}
+		out.compared++
+		delta := 0.0
+		if b.Mops > 0 {
+			delta = (r.Mops/b.Mops - 1) * 100
+		}
+		verdict := "ok"
+		outside := false
+		switch {
+		case delta < -noise:
+			verdict = "REGRESSION"
+			outside = true
+			out.regressions++
+		case delta > noise:
+			verdict = "improvement"
+			outside = true
+			out.improvements++
+		}
+		out.lines = append(out.lines, line{
+			text: fmt.Sprintf("batch b%-4d %-8s %3dt  %7.3f -> %7.3f Mops/s  %+6.1f%%  %-11s  speedup %.2fx -> %.2fx",
+				k.bwidth, k.scheme, k.threads, b.Mops, r.Mops, delta, verdict, b.Speedup, r.Speedup),
+			outside: outside,
+		})
+	}
+	for k, b := range baseByKey {
+		if !seen[k] {
+			out.onlyBase++
+			out.lines = append(out.lines, line{
+				text:    fmt.Sprintf("batch b%-4d %-8s %3dt  %7.3f Mops/s ->                  (only in base)", k.bwidth, k.scheme, k.threads, b.Mops),
+				outside: true,
+			})
+		}
+	}
 }

@@ -249,6 +249,15 @@ type Domain[T any] struct {
 	cacheHits   atomic.Uint64
 	cacheMisses atomic.Uint64
 
+	// Batched-operation counters (see batch.go): completed batches, the
+	// items they carried, and the lease-cache hit/miss split of the
+	// guardless batch entry points — the batch paths' one-lease-per-burst
+	// amortization, observable separately from the per-op lease traffic.
+	batchOps         atomic.Uint64
+	batchItems       atomic.Uint64
+	batchCacheHits   atomic.Uint64
+	batchCacheMisses atomic.Uint64
+
 	// tracer is nil unless Options.Trace asked for the rings; sampler
 	// holds the Domain's background Sampler, swapped by StartSampler.
 	tracer  *trace.Tracer
@@ -300,6 +309,11 @@ func (l liveScheme[T]) Unreclaimed() int             { return l.d.scheme().s.Unr
 func (l liveScheme[T]) Arena() *mem.Arena            { return l.d.arena }
 func (l liveScheme[T]) Retirer() *reclaim.Retirer    { return l.d.scheme().s.Retirer() }
 func (l liveScheme[T]) Retire(tid int, h mem.Handle) { l.d.scheme().s.Retire(tid, h) }
+func (l liveScheme[T]) BeginBatch(tid int) bool      { return l.d.scheme().s.BeginBatch(tid) }
+func (l liveScheme[T]) EndBatch(tid int)             { l.d.scheme().s.EndBatch(tid) }
+func (l liveScheme[T]) RetireBatch(tid int, blks []mem.Handle) {
+	l.d.scheme().s.RetireBatch(tid, blks)
+}
 
 // Alloc routes the internal structures' node allocations through the
 // Domain's backpressure pipeline, so a WFQueue or TurnQueue segment
@@ -597,6 +611,25 @@ func (d *Domain[T]) Pin() *Guard[T] {
 	return g
 }
 
+// pinBatch is Pin for the guardless batch entry points (MultiGet,
+// PushAll, ...): the same lease, with the hit/miss split also recorded on
+// the batch-path counters so Telemetry can report the batch lease-cache
+// hit rate on its own.
+func (d *Domain[T]) pinBatch() *Guard[T] {
+	// Only the batch-path counter is bumped here (one atomic per burst);
+	// Telemetry folds it into the overall hit/miss totals on read.
+	if g, ok := d.fromCache(); ok {
+		d.batchCacheHits.Add(1)
+		return g
+	}
+	d.batchCacheMisses.Add(1)
+	if tid, ok := d.guards.TryAcquireBatch(); ok {
+		return &Guard[T]{d: d, tid: tid, slot: -1}
+	}
+	g, _ := d.AcquireGuard(context.Background()) // never errs: ctx has no deadline
+	return g
+}
+
 // Unpin returns a pinned guard to the Domain's lease cache, dropping any
 // protections it still holds (an implicit End) so an idle cached guard can
 // never block reclamation. The guard must not be used after Unpin.
@@ -862,6 +895,17 @@ type Telemetry struct {
 	GuardCacheHits   uint64 // guards claimed out of the lease cache
 	GuardCacheMisses uint64 // Pin/guardless ops that had to hit the pool
 
+	// Batched-operation counters (MultiGet, PushAll, DequeueN, ...):
+	// BatchOps counts completed batches, BatchedItems the operations they
+	// carried (BatchedItems/BatchOps is the realized mean batch size).
+	// BatchGuardCacheHits/Misses split out the lease-cache traffic of the
+	// guardless batch entry points — with one lease per burst, hits should
+	// track BatchOps, not BatchedItems.
+	BatchOps              uint64
+	BatchedItems          uint64
+	BatchGuardCacheHits   uint64
+	BatchGuardCacheMisses uint64
+
 	// SchemeSwitches counts live scheme swaps completed by Domain.Switch
 	// over the Domain's lifetime.
 	SchemeSwitches uint64
@@ -882,6 +926,16 @@ func (d *Domain[T]) Telemetry() Telemetry {
 	gp := d.guards.Stats()
 	box := d.scheme()
 	probe := box.s.Retirer().Probe()
+	// Batch totals: the Domain counters hold what released guards folded
+	// in; live guards (cached or leased) still carry theirs locally, so
+	// sum them through the lease-cache registry.
+	bops, bitems := d.batchOps.Load(), d.batchItems.Load()
+	for i := range d.cache {
+		if g := d.cache[i].g.Load(); g != nil {
+			bops += g.statBatchOps.Load()
+			bitems += g.statBatchItems.Load()
+		}
+	}
 	t := Telemetry{
 		Scheme:      box.kind.String(),
 		MaxSteps:    probe.MaxSteps,
@@ -904,8 +958,13 @@ func (d *Domain[T]) Telemetry() Telemetry {
 		GuardsFree:       d.guards.Free(),
 		GuardAcquires:    gp.Acquires,
 		GuardParks:       gp.Parks,
-		GuardCacheHits:   d.cacheHits.Load(),
-		GuardCacheMisses: d.cacheMisses.Load(),
+		GuardCacheHits:   d.cacheHits.Load() + d.batchCacheHits.Load(),
+		GuardCacheMisses: d.cacheMisses.Load() + d.batchCacheMisses.Load(),
+
+		BatchOps:              bops,
+		BatchedItems:          bitems,
+		BatchGuardCacheHits:   d.batchCacheHits.Load(),
+		BatchGuardCacheMisses: d.batchCacheMisses.Load(),
 
 		SchemeSwitches: d.schemeSwitches.Load(),
 
@@ -945,6 +1004,11 @@ type TelemetrySample struct {
 	// recorded before the emergency pipeline existed stay byte-identical).
 	Capacity       int    `json:"capacity,omitempty"`        // arena size in blocks
 	EmergencyScans uint64 `json:"emergency_scans,omitempty"` // cumulative out-of-cadence scans
+
+	// Batch columns (omitted when zero for the same reason: pre-batch
+	// trajectories stay byte-identical).
+	BatchOps     uint64 `json:"batch_ops,omitempty"`     // cumulative completed batches
+	BatchedItems uint64 `json:"batched_items,omitempty"` // cumulative items those batches carried
 }
 
 // Sample collects one TelemetrySample in a single pass over the retire
@@ -967,6 +1031,9 @@ func (d *Domain[T]) Sample() TelemetrySample {
 
 		Capacity:       d.arena.Capacity(),
 		EmergencyScans: d.emergencyScans.Load(),
+
+		BatchOps:     d.batchOps.Load(),
+		BatchedItems: d.batchItems.Load(),
 	}
 }
 
@@ -1345,6 +1412,45 @@ type Guard[T any] struct {
 	// it idles in the cache, slot is its registry cell for that cycle.
 	state atomic.Uint32
 	slot  int32
+
+	// Batch-context state (see batch.go). While batching, Retire diverts
+	// into batchRetires for one RetireBatch submission at endBatch;
+	// batchSpan records BeginBatch's verdict — whether one reservation
+	// span covers the whole batch, or the runner must Clear between items
+	// (HP). Owner-goroutine only, reset by endBatch.
+	batching     bool
+	batchSpan    bool
+	batchRetires []mem.Handle
+	// batchNodes are reusable backing arrays for the up-front allocation
+	// runs of the batch write APIs (scratchNodes), so a guard running
+	// bursts in a hot loop allocates its node lists once, not per burst.
+	batchNodes [2][]Ref[T]
+
+	// Per-guard batch accounting. Only the owner writes (plain
+	// load-then-store, no read-modify-write), so a burst costs two MOVs
+	// instead of two LOCK ADDs on a shared Domain counter; the fields are
+	// atomics solely so Telemetry can read them concurrently through the
+	// lease-cache registry. Release folds them into the Domain totals.
+	statBatchOps   atomic.Uint64
+	statBatchItems atomic.Uint64
+}
+
+// noteBatch accounts one completed batch of items operations on the
+// guard's local counters (owner-only, see the field comment).
+func (g *Guard[T]) noteBatch(items int) {
+	g.statBatchOps.Store(g.statBatchOps.Load() + 1)
+	g.statBatchItems.Store(g.statBatchItems.Load() + uint64(items))
+}
+
+// scratchNodes returns an empty slice with capacity at least n backed by
+// the guard's reusable batch scratch (which of 0 or 1 — the tree's batch
+// insert needs two runs live at once). Valid only until the next
+// scratchNodes call with the same index; never returned to callers.
+func (g *Guard[T]) scratchNodes(which, n int) []Ref[T] {
+	if cap(g.batchNodes[which]) < n {
+		g.batchNodes[which] = make([]Ref[T], 0, n)
+	}
+	return g.batchNodes[which][:0]
 }
 
 // Domain returns the Domain this guard belongs to.
@@ -1365,18 +1471,46 @@ func (g *Guard[T]) Release() {
 		g.slot = -1
 	}
 	d.scheme().s.Clear(g.tid)
+	// Fold the guard's batch accounting into the Domain totals: the
+	// registry cell is already vacated, so Telemetry cannot see these
+	// counts twice. Guards idling in the lease cache keep theirs local;
+	// Telemetry sums them through the registry.
+	if n := g.statBatchOps.Load(); n != 0 {
+		d.batchOps.Add(n)
+		d.batchItems.Add(g.statBatchItems.Load())
+		g.statBatchOps.Store(0)
+		g.statBatchItems.Store(0)
+	}
 	g.d = nil // fail fast on use-after-Release
 	d.guards.Release(g.tid)
 }
 
 // Begin marks the start of a data-structure operation. Epoch- and
 // interval-based schemes announce activity here; WFE, HE and HP no-op.
-func (g *Guard[T]) Begin() { g.d.scheme().s.Begin(g.tid) }
+// Inside a batch context the announcement made at beginBatch already
+// covers the item (and for HP, Begin is a no-op regardless), so Begin
+// does nothing — which lets the batch APIs reuse the per-op Guarded
+// method bodies unchanged (see batch.go).
+func (g *Guard[T]) Begin() {
+	if g.batching {
+		return
+	}
+	g.d.scheme().s.Begin(g.tid)
+}
 
 // End marks the end of an operation, dropping every protection the guard
 // holds (the paper's clear()). Refs obtained from Protect must not be
-// dereferenced after End.
-func (g *Guard[T]) End() { g.d.scheme().s.Clear(g.tid) }
+// dereferenced after End. Inside a batch context End degrades to
+// batchStep: a no-op under a batch-wide reservation span, a per-item
+// hazard clear under HP — so each batched item keeps exactly the per-op
+// HP protection discipline.
+func (g *Guard[T]) End() {
+	if g.batching {
+		g.batchStep()
+		return
+	}
+	g.d.scheme().s.Clear(g.tid)
+}
 
 // Alloc allocates a block holding v and returns an owned (not yet
 // published) Ref to it. All NumWords link/metadata words are zeroed (the
@@ -1450,7 +1584,17 @@ func (g *Guard[T]) Dealloc(r Ref[T]) { g.d.arena.Free(g.tid, r.handle()) }
 // cleanup scan may run later under whichever goroutine next leases that
 // tid. All three acquisition paths therefore share one retire discipline;
 // none can strand a retired block.
-func (g *Guard[T]) Retire(r Ref[T]) { g.d.scheme().s.Retire(g.tid, r.handle()) }
+func (g *Guard[T]) Retire(r Ref[T]) {
+	if g.batching {
+		// Inside a batch context the retire is deferred: endBatch submits
+		// the whole burst through RetireBatch, so the scan-gating counter
+		// advances once per batch. Deferral only delays reclamation —
+		// always safe.
+		g.batchRetires = append(g.batchRetires, r.handle())
+		return
+	}
+	g.d.scheme().s.Retire(g.tid, r.handle())
+}
 
 // Protect reads a structure-root link and protects the referenced block
 // until End (or until slot is reused by a later Protect). slot selects one

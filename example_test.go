@@ -287,6 +287,31 @@ func ExampleHashMap_TryPut() {
 	// filled to capacity: true
 }
 
+// ExampleHashMap_MultiGet: the batch entry points run a whole burst
+// under one guard lease and — on the era, epoch and interval schemes —
+// one protection span, with every unlink in the burst retired as a
+// single batch. Results are positional: vals[i]/oks[i] answer keys[i],
+// so duplicate keys in one burst are fine. Batches amortize overhead,
+// not semantics — each item is the same linearizable operation the
+// per-op method runs.
+func ExampleHashMap_MultiGet() {
+	d, _ := wfe.NewDomain[string](wfe.Options{Scheme: wfe.WFE, Capacity: 1 << 10})
+	m := wfe.NewHashMap[string](d, 16)
+
+	m.MultiPut([]uint64{1, 2, 3}, []string{"one", "two", "three"})
+	vals, oks := m.MultiGet([]uint64{2, 7, 1})
+	for i, v := range vals {
+		fmt.Println(v, oks[i])
+	}
+	oks = m.MultiDelete([]uint64{1, 2, 3, 4})
+	fmt.Println("deleted:", oks)
+	// Output:
+	// two true
+	//  false
+	// one true
+	// deleted: [true true true false]
+}
+
 // ExampleTree: the Natarajan–Mittal external binary search tree. Keys are
 // ordered uint64s up to TreeKeyMax; values any T.
 func ExampleTree() {

@@ -33,6 +33,11 @@ type Report struct {
 
 	Figures      []Result     `json:"figures"`
 	ScanAblation []ScanResult `json:"scan_ablation"`
+	// BatchAblation is the batched-operations sweep (batch width ×
+	// scheme on the hash-map mix, with per-op baselines); absent from
+	// artifacts predating the batch APIs, so trajectory diffs treat the
+	// section as optional.
+	BatchAblation []BatchResult `json:"batch_ablation,omitempty"`
 }
 
 // BuildReport measures the full trajectory artifact: every figure in
@@ -60,6 +65,7 @@ func BuildReport(opt Options) Report {
 	scanOpt := opt
 	scanOpt.Threads = nil // let the ablation pick its ≥16-thread point
 	rep.ScanAblation = AblationScan(scanOpt)
+	rep.BatchAblation = AblationBatch(opt)
 	return rep
 }
 

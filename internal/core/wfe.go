@@ -341,6 +341,30 @@ func (w *WFE) PreScan(tid int, h mem.Handle) {
 	}
 }
 
+// BeginBatch implements reclaim.Scheme: WFE reservations are {era, tag}
+// words that stay published until Clear, so the slots a batch's
+// GetProtected calls fill remain valid across items — one span per batch,
+// no prologue. The helping machinery is untouched: a slow path inside a
+// batch publishes and completes its request exactly as in the per-op
+// path.
+func (w *WFE) BeginBatch(tid int) bool { return true }
+
+// EndBatch implements reclaim.Scheme: the batch-wide Clear.
+func (w *WFE) EndBatch(tid int) { w.Clear(tid) }
+
+// RetireBatch implements reclaim.Scheme: stamp every block with the era
+// read once at submission (monotone, so ≥ each unlink's era — the stamped
+// lifespan only over-approximates) and hand the burst to the runtime's
+// amortized retire path; PreScan's pre-cleanup era advance still runs,
+// gated once per burst.
+func (w *WFE) RetireBatch(tid int, blks []mem.Handle) {
+	era := w.globalEra.Load()
+	for _, blk := range blks {
+		w.arena.SetRetireEra(blk, era)
+	}
+	w.rt.RetireBatch(tid, blks)
+}
+
 // Clear implements the paper's clear: all reservations back to ∞, tags
 // preserved so stale helpers from completed cycles keep failing their CAS.
 // Only indices used since the previous Clear need resetting.

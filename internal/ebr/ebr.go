@@ -97,6 +97,31 @@ func (e *EBR) Clear(tid int) {
 	e.ann(tid).Store(0)
 }
 
+// BeginBatch implements reclaim.Scheme: one epoch announcement covers a
+// whole batch of operations (the announcement pins the epoch for as long
+// as it stands, however many blocks the batch touches), so a single span
+// suffices. Holding it across the batch delays the epoch advance exactly
+// as one long operation would.
+func (e *EBR) BeginBatch(tid int) bool {
+	e.Begin(tid)
+	return true
+}
+
+// EndBatch implements reclaim.Scheme: the batch-wide Clear.
+func (e *EBR) EndBatch(tid int) { e.Clear(tid) }
+
+// RetireBatch implements reclaim.Scheme: stamp every block with the epoch
+// read once at submission — monotone, so ≥ the epoch at each unlink, a
+// conservative lifespan — and hand the burst to the runtime's amortized
+// retire path.
+func (e *EBR) RetireBatch(tid int, blks []mem.Handle) {
+	epoch := e.globalEpoch.Load()
+	for _, blk := range blks {
+		e.arena.SetRetireEra(blk, epoch)
+	}
+	e.rt.RetireBatch(tid, blks)
+}
+
 // Alloc allocates a block; epochs need no allocation stamp, but the epoch
 // advance attempt keeps the clock moving on allocation-heavy phases, in line
 // with the benchmark's ν parameter.

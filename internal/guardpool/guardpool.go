@@ -229,7 +229,16 @@ func (p *Pool) obtained(tid int) bool {
 // spare supply — strands it there until someone claims it). During a
 // pause epoch it always reports false, even when the pop raced the gate
 // going up — the id is returned and the attempt reported gated.
-func (p *Pool) TryAcquire() (int, bool) {
+func (p *Pool) TryAcquire() (int, bool) { return p.tryAcquire(0) }
+
+// TryAcquireBatch is TryAcquire on behalf of a batch entry point
+// (MultiGet, PushAll, ...): identical semantics, but the acquire
+// lifecycle event carries the batch marker in its B payload, so a trace
+// can attribute pool traffic to batch leases — with one lease per burst,
+// batch-marked acquires should stay rare next to the per-op kind.
+func (p *Pool) TryAcquireBatch() (int, bool) { return p.tryAcquire(1) }
+
+func (p *Pool) tryAcquire(batch uint64) (int, bool) {
 	if p.Paused() {
 		return 0, false
 	}
@@ -238,7 +247,7 @@ func (p *Pool) TryAcquire() (int, bool) {
 			return 0, false
 		}
 		p.acquires.Add(1)
-		p.tracer.Emit(tid, trace.KindGuardAcquire, trace.AcquireFreelist, 0)
+		p.tracer.Emit(tid, trace.KindGuardAcquire, trace.AcquireFreelist, batch)
 		return tid, true
 	}
 	if p.waiters.Load() == 0 {
@@ -248,7 +257,7 @@ func (p *Pool) TryAcquire() (int, bool) {
 				return 0, false
 			}
 			p.acquires.Add(1)
-			p.tracer.Emit(tid, trace.KindGuardAcquire, trace.AcquireHandoff, 0)
+			p.tracer.Emit(tid, trace.KindGuardAcquire, trace.AcquireHandoff, batch)
 			return tid, true
 		default:
 		}

@@ -171,6 +171,28 @@ func (h *HE) advanceEra(tid int) {
 	h.cfg.Tracer.Emit(tid, trace.KindEraAdvance, era, 0)
 }
 
+// BeginBatch implements reclaim.Scheme: Hazard Eras reservations are era
+// values that stay published until Clear, so the slots a batch's
+// GetProtected calls fill remain valid across items — one span per batch,
+// no prologue needed. Holding the reservations across the batch is the
+// same conservatism as one long operation.
+func (h *HE) BeginBatch(tid int) bool { return true }
+
+// EndBatch implements reclaim.Scheme: the batch-wide Clear.
+func (h *HE) EndBatch(tid int) { h.Clear(tid) }
+
+// RetireBatch implements reclaim.Scheme: stamp every block with the era
+// read once at submission (monotone, so ≥ each unlink's era — the stamped
+// lifespan only over-approximates) and hand the burst to the runtime's
+// amortized retire path.
+func (h *HE) RetireBatch(tid int, blks []mem.Handle) {
+	era := h.globalEra.Load()
+	for _, blk := range blks {
+		h.arena.SetRetireEra(blk, era)
+	}
+	h.rt.RetireBatch(tid, blks)
+}
+
 // Clear implements the paper's clear; only indices used since the previous
 // Clear need resetting.
 func (h *HE) Clear(tid int) {

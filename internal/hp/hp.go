@@ -114,6 +114,27 @@ func (h *HP) Retire(tid int, blk mem.Handle) {
 	h.rt.Retire(tid, blk)
 }
 
+// BeginBatch implements reclaim.Scheme and reports false: a hazard slot
+// protects exactly one node identity, so no single span can cover a batch
+// — the runner must Clear between items and let each operation's
+// GetProtected calls rotate hazard slots per node, exactly as in the
+// per-op path. Batching under HP amortizes the lease and the retire
+// cadence, never the protection itself.
+func (h *HP) BeginBatch(tid int) bool { return false }
+
+// EndBatch implements reclaim.Scheme: the trailing Clear.
+func (h *HP) EndBatch(tid int) { h.Clear(tid) }
+
+// RetireBatch implements reclaim.Scheme: HP tracks identities, not
+// lifespans, so the blocks carry a zero stamp straight into the runtime's
+// amortized retire path.
+func (h *HP) RetireBatch(tid int, blks []mem.Handle) {
+	for _, blk := range blks {
+		h.arena.SetRetireEra(blk, 0)
+	}
+	h.rt.RetireBatch(tid, blks)
+}
+
 // Clear resets the hazard slots used since the previous Clear.
 func (h *HP) Clear(tid int) {
 	t := &h.threads[tid]

@@ -55,6 +55,23 @@ func (l *Leak) Retire(tid int, blk mem.Handle) {
 // Clear implements reclaim.Scheme.
 func (l *Leak) Clear(tid int) {}
 
+// BeginBatch implements reclaim.Scheme: leaked blocks are never reused, so
+// a batch needs no re-protection between items — a single (empty) span
+// suffices.
+func (l *Leak) BeginBatch(tid int) bool { return true }
+
+// EndBatch implements reclaim.Scheme.
+func (l *Leak) EndBatch(tid int) {}
+
+// RetireBatch leaks the whole burst through the runtime's judge-less
+// counting path — one cadence step, nothing stored.
+func (l *Leak) RetireBatch(tid int, blks []mem.Handle) {
+	for _, blk := range blks {
+		l.arena.SetRetireEra(blk, 0)
+	}
+	l.rt.RetireBatch(tid, blks)
+}
+
 // Alloc implements reclaim.Scheme.
 func (l *Leak) Alloc(tid int) mem.Handle {
 	return l.arena.Alloc(tid)

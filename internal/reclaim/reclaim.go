@@ -43,6 +43,32 @@ type Scheme interface {
 	// Data structures call it at the end of every operation.
 	Clear(tid int)
 
+	// BeginBatch opens one protection span intended to cover a whole burst
+	// of operations, and reports whether that single span suffices.
+	// Era-, epoch- and interval-clocked schemes (EBR, HE, WFE, 2GEIBR,
+	// WFE-IBR) return true: one announced epoch or reservation interval
+	// covers every block protected inside the span, so the batch runner may
+	// keep it open across items. Identity schemes (HP) return false — a
+	// hazard slot protects exactly one node, so the runner must still Clear
+	// between items to rotate hazard slots per node, exactly as in the
+	// per-op path. Encoding the distinction here keeps call sites free of
+	// per-scheme special cases.
+	BeginBatch(tid int) bool
+
+	// EndBatch closes the span opened by BeginBatch, resetting every
+	// reservation the batch made (the batch-wide Clear).
+	EndBatch(tid int)
+
+	// RetireBatch retires every block of an operation burst at once: each
+	// block is era-stamped and queued like Retire would, but the
+	// scan-gating retirement counter advances once for the whole batch, so
+	// the cleanup cadence stays amortized across the burst instead of
+	// firing mid-batch. Stamping every block with the clock value read at
+	// submission is safe: the clock is monotone, so that value is ≥ the
+	// clock at each block's unlink and the stamp only over-approximates
+	// the block's lifespan.
+	RetireBatch(tid int, blks []mem.Handle)
+
 	// Alloc allocates a block and stamps its allocation era
 	// (paper: alloc_block()). It panics when the arena is exhausted;
 	// callers that can degrade gracefully use TryAlloc.

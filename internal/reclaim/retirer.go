@@ -203,6 +203,45 @@ func (r *Retirer) Retire(tid int, blk mem.Handle) {
 	t.count++
 }
 
+// RetireBatch appends every block in blks to tid's retire ring as one
+// burst: the blocks are pushed and published together, the cadence hooks
+// (OnRetire, PreScan, the gated Scan) run at most once, and the
+// scan-gating retirement counter advances by one for the whole batch.
+// This is the retire-side half of the batched-operations amortization:
+// a burst of B retires costs one cadence step instead of B, so cleanup
+// keeps firing once per CleanupFreq bursts rather than mid-burst.
+func (r *Retirer) RetireBatch(tid int, blks []mem.Handle) {
+	if len(blks) == 0 {
+		return
+	}
+	t := &r.threads[tid]
+	if r.judge == nil {
+		for _, blk := range blks {
+			r.tracer.Emit(tid, trace.KindRetire, blk, 0)
+		}
+		t.count++
+		t.ring.published.Add(int64(len(blks))) // leaked, by design
+		return
+	}
+	for _, blk := range blks {
+		r.tracer.Emit(tid, trace.KindRetire, blk, 0)
+		t.ring.push(blk)
+	}
+	t.ring.publish()
+	n := t.count
+	last := blks[len(blks)-1]
+	if r.obs != nil {
+		r.obs.OnRetire(tid, n, last)
+	}
+	if n%r.cleanupFreq == 0 || r.arena.Pressured() {
+		if r.pre != nil {
+			r.pre.PreScan(tid, last)
+		}
+		r.Scan(tid)
+	}
+	t.count++
+}
+
 // Add appends blk to tid's retire ring without the cadence bookkeeping: no
 // hooks run, no scan is gated, and the retirement count is untouched. It
 // exists for harnesses that stage a retire list and drive Scan explicitly;

@@ -26,7 +26,8 @@ const (
 	// KindInvalid marks an unwritten or torn slot; never exported.
 	KindInvalid Kind = iota
 	// KindGuardAcquire: a pool guard was acquired. A is the source
-	// (AcquireFreelist, AcquireHandoff).
+	// (AcquireFreelist, AcquireHandoff); B is 1 when the acquisition
+	// served a batch entry point (one lease per burst), else 0.
 	KindGuardAcquire
 	// KindGuardPark: an Acquire exhausted the freelist and parked on the
 	// handoff channel. Emitted on the shared ring (no tid held yet).
@@ -60,6 +61,13 @@ const (
 	// the Domain's emergency-reclamation pipeline. A is the arena's
 	// allocated-block count at the stall, B its capacity.
 	KindAllocStall
+	// KindBatchBegin: a batched operation (MultiGet, PushAll, ...) opened
+	// its batch context. A is the number of items the batch intends to
+	// run (0 when open-ended, e.g. PopN draining early).
+	KindBatchBegin
+	// KindBatchEnd: the batch context closed. A is the items the batch
+	// actually ran, B the retires it submitted as one burst.
+	KindBatchEnd
 
 	kindCount
 )
@@ -83,6 +91,8 @@ var kindNames = [kindCount]string{
 	KindSegRefill:    "seg-refill",
 	KindSchemeSwitch: "scheme-switch",
 	KindAllocStall:   "alloc-stall",
+	KindBatchBegin:   "batch-begin",
+	KindBatchEnd:     "batch-end",
 }
 
 func (k Kind) String() string {

@@ -143,6 +143,32 @@ func (w *WFEIBR) Clear(tid int) {
 	iv.upper.Store(pack.Inf)
 }
 
+// BeginBatch implements reclaim.Scheme: one reservation interval spans the
+// whole batch, exactly as in 2GEIBR — GetProtected (fast or slow path)
+// keeps raising the upper bound, so the open interval covers every block
+// the batch touches. Helpers interact with the interval only by raising
+// its upper bound, which batching does not change.
+func (w *WFEIBR) BeginBatch(tid int) bool {
+	w.Begin(tid)
+	return true
+}
+
+// EndBatch implements reclaim.Scheme: close the batch's interval.
+func (w *WFEIBR) EndBatch(tid int) { w.Clear(tid) }
+
+// RetireBatch implements reclaim.Scheme: stamp every block with the era
+// read once at submission (monotone, so ≥ each unlink's era — a
+// conservative lifespan) and hand the burst to the runtime's amortized
+// retire path; the retire-driven era advance ticks once per burst through
+// OnRetire, via the helping path.
+func (w *WFEIBR) RetireBatch(tid int, blks []mem.Handle) {
+	era := w.globalEra.Load()
+	for _, blk := range blks {
+		w.arena.SetRetireEra(blk, era)
+	}
+	w.rt.RetireBatch(tid, blks)
+}
+
 // raiseUpper monotonically lifts an interval's upper bound to at least e.
 // Raising is always conservative, so competing raises need no tags.
 func raiseUpper(iv *interval, e uint64) {

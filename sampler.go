@@ -51,6 +51,12 @@ type SamplerRates struct {
 	BacklogSlope  float64       `json:"backlog_slope"`   // unreclaimed blocks/sec, signed
 	ParksPerTick  float64       `json:"parks_per_tick"`  // guard parks per tick
 	Backlog       int           `json:"backlog"`         // last sampled unreclaimed count
+
+	// Batch-path rates (see batch.go): bursts and batched items per
+	// second. ItemsPerSec/OpsPerSec approximates the mean batch width the
+	// workload is actually running.
+	BatchOpsPerSec   float64 `json:"batch_ops_per_sec"`
+	BatchItemsPerSec float64 `json:"batch_items_per_sec"`
 }
 
 // ewmaAlpha is the smoothing factor of every sampler rate.
@@ -198,6 +204,8 @@ func (s *Sampler) tick(now time.Time) {
 			retires := float64(row.Frees-p.Frees) + float64(row.Unreclaimed-p.Unreclaimed)
 			blend(&s.rates.RetiresPerSec, retires/dt)
 			blend(&s.rates.ParksPerTick, float64(row.GuardParks-p.GuardParks))
+			blend(&s.rates.BatchOpsPerSec, float64(row.BatchOps-p.BatchOps)/dt)
+			blend(&s.rates.BatchItemsPerSec, float64(row.BatchedItems-p.BatchedItems)/dt)
 			s.seeded = true
 		}
 	}
